@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark runs one paper experiment at the "quick" scale inside
+``benchmark.pedantic(..., rounds=1)`` — the simulation is
+deterministic, so repeated rounds would only re-measure wall time —
+prints the reproduced table, and asserts the paper's qualitative
+relationships (who wins, roughly by how much, where crossovers fall).
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer; return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    return numerator / max(denominator, 1e-12)

@@ -1,0 +1,25 @@
+"""Benchmark: the §3.7 design choice — shipping vs version queries.
+
+The paper rejected the CRAQ-style alternative because it "generates
+more internal traffic across JBOFs" without improving performance.
+Both are implemented; this ablation quantifies the choice.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import ablation_craq
+
+
+def test_ablation_craq(benchmark):
+    result = run_once(benchmark, ablation_craq.run)
+    print()
+    print(result)
+    ship = result.row_for(mode="ship")
+    craq = result.row_for(mode="craq")
+    # CRAQ resolves dirty reads with version queries instead of ships...
+    assert craq["version_queries"] > 0
+    assert ship["version_queries"] == 0
+    # ...which costs extra cross-JBOF bytes (the paper's objection)...
+    assert craq["extra_bytes"] > 0
+    # ...without buying meaningful throughput.
+    assert craq["kqps"] < 1.15 * ship["kqps"]

@@ -1,0 +1,25 @@
+"""Benchmark: the §3.2.1 data-structure choice — circular log vs LSM.
+
+The paper picked a circular log over an LSM because LSMs burn scarce
+SmartNIC cycles in their merge-sort phase and amplify writes across
+level rewrites.  With a leveled LSM implemented, the claim is
+measured directly on identical hardware.
+"""
+
+from conftest import ratio, run_once
+
+from repro.bench.experiments import ablation_lsm
+
+
+def test_ablation_lsm(benchmark):
+    result = run_once(benchmark, ablation_lsm.run)
+    print()
+    print(result)
+    for workload in ("YCSB-WR", "YCSB-A"):
+        log_row = result.row_for(design="circular-log", workload=workload)
+        lsm_row = result.row_for(design="lsm-tree", workload=workload)
+        # The paper's claim: the LSM spends more CPU per operation...
+        assert lsm_row["cpu_us_per_op"] > 1.5 * log_row["cpu_us_per_op"]
+        # ...and amplifies writes more.
+        assert lsm_row["write_amplification"] > \
+            log_row["write_amplification"]

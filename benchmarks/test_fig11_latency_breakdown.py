@@ -1,0 +1,27 @@
+"""Benchmark: Figure 11 — GET/PUT/DEL latency breakdown.
+
+Paper: SSD accesses dominate (97.4%/97.6% across commands); PUT adds
+only ~10.5 us despite its third NVMe access because the first two
+overlap (it lands *below* GET, 84 vs 116 us).
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig11
+
+
+def test_fig11_latency_breakdown(benchmark):
+    result = run_once(benchmark, fig11.run)
+    print()
+    print(result)
+    for value_size in (256, 1024):
+        get = result.row_for(command="GET", value_size=value_size)
+        put = result.row_for(command="PUT", value_size=value_size)
+        dele = result.row_for(command="DEL", value_size=value_size)
+        # SSD time dominates every command.
+        for row in (get, put, dele):
+            assert row["ssd_pct"] > 90
+        # GET = 2 serial reads; PUT overlaps its first two accesses.
+        assert put["total_us"] < get["total_us"]
+        # DEL ~ PUT minus the value write.
+        assert abs(dele["total_us"] - put["total_us"]) < 0.3 * put["total_us"]

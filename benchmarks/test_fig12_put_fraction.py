@@ -1,0 +1,26 @@
+"""Benchmark: Figure 12 — throughput vs PUT fraction.
+
+Paper: LEED loses ~3% of throughput per +10% PUT; FAWN on the Pi
+*gains* with PUTs because appends are sequential on its SD medium.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig12
+
+
+def test_fig12_put_fraction(benchmark):
+    result = run_once(benchmark, fig12.run)
+    print()
+    print(result)
+    leed = sorted((r for r in result.rows
+                   if r["system"] == "LEED-stingray-1024B"),
+                  key=lambda r: r["put_pct"])
+    fawn = sorted((r for r in result.rows
+                   if r["system"] == "FAWN-pi-1024B"),
+                  key=lambda r: r["put_pct"])
+    # FAWN rises with PUT share.
+    assert fawn[-1]["kqps"] > 1.3 * fawn[0]["kqps"]
+    # LEED stays within a modest band (paper: ~3% per +10% PUT).
+    leed_values = [r["kqps"] for r in leed]
+    assert min(leed_values) > 0.7 * max(leed_values)

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 13 — compaction execution parallelism.
+
+Paper: 1.9x throughput from 8 sub-compaction workers (13a) and
++17.9% from co-scheduling compactions (13b), most visible on
+write-heavy workloads where compaction gates PUT progress.
+"""
+
+from conftest import ratio, run_once
+
+from repro.bench.experiments import fig13
+
+
+def test_fig13_compaction(benchmark):
+    result = run_once(benchmark, fig13.run)
+    print()
+    print(result)
+    # 13a: WR-ONLY scales with sub-compaction count.
+    intra = {row["x"]: row["kqps"] for row in result.rows
+             if row["part"] == "13a" and row["workload"] == "WR-ONLY"}
+    assert ratio(intra[8], intra[1]) > 1.5
+    # 13b: co-scheduling more compactions helps WR-ONLY.
+    inter = {row["x"]: row["kqps"] for row in result.rows
+             if row["part"] == "13b" and row["workload"] == "WR-ONLY"}
+    assert ratio(inter[4], inter[1]) > 1.1

@@ -1,0 +1,24 @@
+"""Benchmark: Figure 14 (appendix) — latency vs throughput at 256 B.
+
+Same sweep as Figure 6 with small objects; the paper reports similar
+shapes to the 1 KB case.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig6
+
+
+def test_fig14_latency_throughput_256(benchmark):
+    result = run_once(benchmark, fig6.run, value_size=256,
+                      workloads=("B", "WR"))
+    print()
+    print(result)
+    for workload in ("YCSB-B", "YCSB-WR"):
+        leed = [r for r in result.rows
+                if r["workload"] == workload
+                and r["system"] == "SmartNIC-LEED"]
+        assert leed
+        # Throughput tracks offered load until saturation.
+        series = sorted(leed, key=lambda r: r["offered_kqps"])
+        assert series[0]["kqps"] <= series[-1]["kqps"] * 1.2

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 1 — raw-IO energy efficiency vs capacity.
+
+Paper: at 16 TB, SmartNIC JBOFs beat server JBOFs by 4.8x/4.7x and
+Raspberry Pis by 56.5x/26.4x for 4 KB random read / sequential write.
+"""
+
+from conftest import ratio, run_once
+
+from repro.bench.experiments import fig1
+
+
+def test_fig1_platform_efficiency(benchmark):
+    result = run_once(benchmark, fig1.run)
+    print()
+    print(result)
+    # At the 16 TB point, the SmartNIC JBOF wins on both patterns.
+    for pattern in ("read", "write"):
+        at_16tb = {row["platform"]: row["kiops_per_joule"]
+                   for row in result.rows
+                   if row["pattern"] == pattern
+                   and row["capacity_gb"] == 16384.0}
+        smartnic_vs_server = ratio(at_16tb["smartnic-jbof"],
+                                   at_16tb["server-jbof"])
+        smartnic_vs_pi = ratio(at_16tb["smartnic-jbof"],
+                               at_16tb["raspberry-pi"])
+        assert smartnic_vs_server > 1.5, pattern
+        assert smartnic_vs_pi > 15, pattern
+    # The Pi curve is flat: adding nodes does not change efficiency.
+    pi_rows = [row["kiops_per_joule"] for row in result.rows
+               if row["platform"] == "raspberry-pi"
+               and row["pattern"] == "read"]
+    assert max(pi_rows) - min(pi_rows) < 0.2 * max(pi_rows)

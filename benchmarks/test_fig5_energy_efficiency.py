@@ -1,0 +1,39 @@
+"""Benchmark: Figure 5 — queries/Joule across the three platforms.
+
+Paper: SmartNIC-LEED beats Server-KVell by 4.2x/3.8x and
+Embedded-FAWN by 17.5x/19.1x on average (256 B / 1 KB), with the
+one crossover on read-only YCSB-C where KVell's in-memory index
+shines.
+"""
+
+import statistics
+
+from conftest import ratio, run_once
+
+from repro.bench.experiments import fig5
+
+
+def test_fig5_energy_efficiency(benchmark):
+    result = run_once(benchmark, fig5.run, value_sizes=(256, 1024))
+    print()
+    print(result)
+    for value_size, kvell_floor, fawn_floor in ((256, 1.3, 5), (1024, 1.5, 5)):
+        leed = {row["workload"]: row["kq_per_joule"] for row in result.rows
+                if row["system"] == "SmartNIC-LEED"
+                and row["value_size"] == value_size}
+        kvell = {row["workload"]: row["kq_per_joule"] for row in result.rows
+                 if row["system"] == "Server-KVell"
+                 and row["value_size"] == value_size}
+        fawn = {row["workload"]: row["kq_per_joule"] for row in result.rows
+                if row["system"] == "Embedded-FAWN"
+                and row["value_size"] == value_size}
+        # Mean advantage over Server-KVell (paper: 4.2x/3.8x).
+        kvell_ratios = [ratio(leed[w], kvell[w]) for w in leed]
+        assert statistics.mean(kvell_ratios) > kvell_floor, value_size
+        # Mean advantage over Embedded-FAWN (paper: 17.5x/19.1x).
+        fawn_ratios = [ratio(leed[w], fawn[w]) for w in leed]
+        assert statistics.mean(fawn_ratios) > fawn_floor, value_size
+        # LEED wins the read-heavy workloads outright.
+        for workload in ("YCSB-B", "YCSB-D"):
+            assert leed[workload] > kvell[workload] > fawn[workload], \
+                (value_size, workload)

@@ -1,0 +1,27 @@
+"""Benchmark: Figure 7 — CRRS vs plain chain replication.
+
+Paper: under high Zipf skew, CRRS multiplies YCSB-C throughput (up to
+7.3x at 0.9) and collapses average/99.9th latencies, by letting every
+clean replica serve reads instead of only the tail.
+"""
+
+from conftest import ratio, run_once
+
+from repro.bench.experiments import fig7
+
+
+def test_fig7_crrs(benchmark):
+    result = run_once(benchmark, fig7.run)
+    print()
+    print(result)
+    for workload in ("YCSB-B", "YCSB-C"):
+        for skew in (0.9, 0.99):
+            on = result.row_for(workload=workload, skew=skew, crrs="on")
+            off = result.row_for(workload=workload, skew=skew, crrs="off")
+            # CRRS improves throughput and average latency.
+            assert on["kqps"] > off["kqps"], (workload, skew)
+            assert on["avg_ms"] < off["avg_ms"], (workload, skew)
+    # Read-only sees the biggest multiplier (every op is shippable).
+    c_on = result.row_for(workload="YCSB-C", skew=0.99, crrs="on")
+    c_off = result.row_for(workload="YCSB-C", skew=0.99, crrs="off")
+    assert ratio(c_on["kqps"], c_off["kqps"]) > 1.2

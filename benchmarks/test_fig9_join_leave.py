@@ -1,0 +1,27 @@
+"""Benchmark: Figure 9 — throughput during node join/leave.
+
+Paper: a 3-node cluster (R=3) running YCSB-A/B sees throughput dips
+after join/leave start (up to 49%/66% for YCSB-A) from COPY traffic
+and view-inconsistency NACKs, recovering after each operation ends.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import fig9
+
+
+def test_fig9_join_leave(benchmark):
+    result = run_once(benchmark, fig9.run, workloads=("B",))
+    print()
+    print(result)
+    rows = [r for r in result.rows if r["workload"] == "YCSB-B"]
+    phases = {r["phase"] for r in rows}
+    # Both membership operations actually ran during the window.
+    assert "joining" in phases
+    assert "leaving" in phases
+    steady = [r["kqps"] for r in rows if r["phase"] == "steady"]
+    assert steady and min(steady) > 0
+    # Throughput never collapses to zero mid-run (drop the wind-down
+    # tail buckets where the drivers are finishing).
+    active = [r["kqps"] for r in rows[:-2]]
+    assert min(active) > 0.1 * max(active)

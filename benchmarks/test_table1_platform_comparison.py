@@ -1,0 +1,30 @@
+"""Benchmark: Table 1 — data store node comparison.
+
+Paper rows: skew 16/64/1024, network density 0.25/3.2/12.5 GbE per
+core, storage density 5K/125K/500K IOPS per core, and the
+balls-into-bins maximum load shrinking with node count.
+"""
+
+from conftest import run_once
+
+from repro.bench.experiments import table1
+
+
+def test_table1_platform_comparison(benchmark):
+    result = run_once(benchmark, table1.run)
+    print()
+    print(result)
+    rows = {row["platform"]: row for row in result.rows}
+    pi = rows["raspberry-pi-3b-plus"]
+    server = rows["xeon-server-jbof"]
+    stingray = rows["stingray-ps1100r"]
+    # Row 1: storage hierarchy skew explodes on the SmartNIC JBOF.
+    assert stingray["flash_dram_skew"] > 5 * server["flash_dram_skew"]
+    assert server["flash_dram_skew"] > pi["flash_dram_skew"]
+    # Row 2: network density, 0.25 GbE (Pi) to 12.5 GbE (Stingray).
+    assert pi["gbe_per_core"] == 0.25
+    assert stingray["gbe_per_core"] == 12.5
+    # Row 3: storage density up by two orders of magnitude.
+    assert stingray["iops_per_core"] > 100 * pi["iops_per_core"]
+    # Row 4: a 3-node cluster sees a far larger max load than 100 nodes.
+    assert stingray["max_load_at_1m"] > 10 * pi["max_load_at_1m"]

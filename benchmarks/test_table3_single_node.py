@@ -1,0 +1,33 @@
+"""Benchmark: Table 3 — single-node comparison on a SmartNIC JBOF.
+
+Paper: FAWN-JBOF has the lowest latency (one access) but only
+7.7-24.1% usable capacity and ~61-88 KQPS (synchronous I/O);
+KVell-JBOF has the worst latency (B-tree on a wimpy core) and <3%
+capacity; LEED exposes 95%+ of the flash, reads at ~116/133 us, and
+delivers the highest node throughput (856-860 rd / 577-608 wr KQPS).
+"""
+
+from conftest import ratio, run_once
+
+from repro.bench.experiments import table3
+
+
+def test_table3_single_node(benchmark):
+    result = run_once(benchmark, table3.run)
+    print()
+    print(result)
+    leed = result.row_for(system="LEED", value_size=256)
+    fawn = result.row_for(system="FAWN-JBOF", value_size=256)
+    kvell = result.row_for(system="KVell-JBOF", value_size=256)
+    # Capacity: LEED >> FAWN >> KVell.
+    assert leed["max_capacity_pct"] > 75
+    assert fawn["max_capacity_pct"] < 40
+    assert kvell["max_capacity_pct"] < 5
+    # Latency: FAWN single-access fastest; KVell slowest; LEED ~2x FAWN.
+    assert fawn["rd_lat_us"] < leed["rd_lat_us"] < kvell["rd_lat_us"]
+    assert 1.5 < ratio(leed["rd_lat_us"], fawn["rd_lat_us"]) < 3.0
+    # Throughput: LEED >> KVell > FAWN (reads).
+    assert leed["rd_kqps"] > 1.5 * kvell["rd_kqps"]
+    assert kvell["rd_kqps"] > 2 * fawn["rd_kqps"]
+    # PUT adds little over GET on LEED (overlapped accesses).
+    assert leed["wr_lat_us"] < leed["rd_lat_us"]

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Hot-key mitigation: CRRS request shipping + token-aware reads.
+
+A skewed read workload (Zipf 0.99) hammers a few hot keys.  With
+plain chain replication every read of a key lands on its chain tail;
+with CRRS (§3.7) any *clean* replica may serve it and the front-end
+picks the replica advertising the most tokens — spreading the hot
+keys over 3x the hardware.  The demo runs both modes on identical
+clusters and prints the throughput/latency gap plus how unevenly the
+per-vnode read counts were distributed.
+
+Run:  python examples/hot_key_mitigation.py
+"""
+
+import statistics
+
+from repro.bench.harness import build_cluster, load_cluster, run_closed_loop
+from repro.workloads.ycsb import YCSBWorkload
+
+NUM_RECORDS = 600
+NUM_OPS = 2000
+SKEW = 0.99
+
+
+def spread(counts):
+    """Coefficient of variation of per-vnode read counts."""
+    live = [c for c in counts if c]
+    if len(live) < 2:
+        return float("inf")
+    return statistics.pstdev(counts) / max(statistics.mean(counts), 1e-9)
+
+
+def main():
+    print("YCSB-C, Zipf %.2f, %d reads over %d records\n"
+          % (SKEW, NUM_OPS, NUM_RECORDS))
+    print("%-22s %10s %10s %10s %12s" % ("mode", "KQPS", "avg us",
+                                         "p99.9 us", "read spread"))
+    for crrs in (False, True):
+        workload = YCSBWorkload("C", NUM_RECORDS, value_size=1024,
+                                skew=SKEW, seed=7)
+        cluster = build_cluster("leed", crrs=crrs, seed=7)
+        load_cluster(cluster, workload)
+        stats = run_closed_loop(cluster, workload, NUM_OPS, concurrency=96)
+        reads = [rt.stats.reads_served
+                 for node in cluster.jbofs
+                 for rt in node.vnodes.values()]
+        label = "CRRS (ship + tokens)" if crrs else "plain chain (tail)"
+        print("%-22s %10.1f %10.1f %10.1f %12.2f"
+              % (label, stats.throughput_qps / 1e3,
+                 stats.mean_latency_us(), stats.percentile_us(0.999),
+                 spread(reads)))
+    print("\nlower spread = hot keys' reads shared across replicas")
+
+
+if __name__ == "__main__":
+    main()

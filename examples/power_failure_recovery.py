@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Power-failure recovery: rebuild a LEED store from its flash logs.
+
+A SmartNIC JBOF has a standalone power supply; when it browns out,
+the SegTbl (which lives in SoC DRAM) is gone, but the circular key
+and value logs on the NVMe drives survive.  Each bucket carries a
+key-log tail snapshot (§3.2.3 "head/tail fields, used for recovery"),
+so a single sequential scan of the key-log region finds the newest
+version of every segment and rebuilds the index.
+
+This demo writes and churns a store, simulates the power failure by
+constructing a brand-new store object over the same device, runs
+recovery, and verifies the data — then keeps writing.
+
+Run:  python examples/power_failure_recovery.py
+"""
+
+import random
+
+from repro import StoreConfig, recover_store
+from repro.core.datastore import LeedDataStore
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+CONFIG = StoreConfig(num_segments=64, key_log_bytes=1 << 20,
+                     value_log_bytes=4 << 20)
+
+
+def main():
+    sim = Simulator()
+    ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20, block_size=512),
+                  rng=RngRegistry(1))
+    store = LeedDataStore(sim, ssd, CONFIG, name="victim")
+    rng = random.Random(2)
+    shadow = {}
+
+    def churn():
+        for step in range(400):
+            key = b"item-%03d" % rng.randrange(80)
+            if rng.random() < 0.7:
+                value = b"rev-%04d" % step
+                result = yield from store.put(key, value)
+                assert result.ok
+                shadow[key] = value
+            else:
+                result = yield from store.delete(key)
+                if result.ok:
+                    del shadow[key]
+
+    sim.run(until=sim.process(churn(), name="churn"))
+    print("before crash: %d live objects, key log %.0f%% full"
+          % (store.live_objects, 100 * store.key_log.fill_fraction()))
+
+    # --- power failure: all DRAM state is lost -------------------------
+    reborn = LeedDataStore(sim, ssd, CONFIG, name="reborn")
+    assert reborn.live_objects == 0
+
+    def recover():
+        report = yield from recover_store(reborn)
+        return report
+
+    report = sim.run(until=sim.process(recover(), name="recover"))
+    print("recovery: scanned %d blocks in %.1f ms -> %d segments, "
+          "%d objects (%d stale versions skipped)"
+          % (report.blocks_scanned, report.duration_us / 1e3,
+             report.segments_recovered, report.live_objects,
+             report.stale_versions_skipped))
+
+    def verify():
+        for key, value in shadow.items():
+            got = yield from reborn.get(key)
+            assert got.ok and got.value == value, key
+        # And the store is immediately writable again.
+        result = yield from reborn.put(b"post-crash", b"alive")
+        assert result.ok
+        return len(shadow)
+
+    verified = sim.run(until=sim.process(verify(), name="verify"))
+    print("verified %d surviving objects byte-for-byte; store is "
+          "writable again" % verified)
+
+
+if __name__ == "__main__":
+    main()

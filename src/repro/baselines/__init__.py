@@ -1,0 +1,28 @@
+"""Baseline systems reimplemented for comparison: FAWN-KV and KVell."""
+
+from repro.baselines.common import (
+    FawnJBOFNode,
+    KVellJBOFNode,
+    SYSTEMS,
+    make_cluster,
+)
+from repro.baselines.fawn.datastore import FawnConfig, FawnDataStore
+from repro.baselines.kvell.btree import BTree
+from repro.baselines.kvell.datastore import KVellConfig, KVellDataStore
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.baselines.lsm.datastore import LsmConfig, LsmDataStore
+
+__all__ = [
+    "make_cluster",
+    "SYSTEMS",
+    "FawnJBOFNode",
+    "KVellJBOFNode",
+    "FawnDataStore",
+    "FawnConfig",
+    "KVellDataStore",
+    "KVellConfig",
+    "BTree",
+    "LsmDataStore",
+    "LsmConfig",
+    "BloomFilter",
+]

@@ -1,0 +1,11 @@
+"""FAWN-KV: log-structured store over wimpy nodes (Andersen et al.)."""
+
+from repro.baselines.fawn.datastore import (
+    FAWN_INDEX_BYTES_PER_OBJECT,
+    FawnConfig,
+    FawnDataStore,
+    FawnStats,
+)
+
+__all__ = ["FawnDataStore", "FawnConfig", "FawnStats",
+           "FAWN_INDEX_BYTES_PER_OBJECT"]

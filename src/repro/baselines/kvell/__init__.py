@@ -1,0 +1,12 @@
+"""KVell: share-nothing NVMe key-value store (Lepers et al.)."""
+
+from repro.baselines.kvell.btree import BTree
+from repro.baselines.kvell.datastore import (
+    KVELL_DRAM_BYTES_PER_OBJECT,
+    KVellConfig,
+    KVellDataStore,
+    KVellStats,
+)
+
+__all__ = ["KVellDataStore", "KVellConfig", "KVellStats", "BTree",
+           "KVELL_DRAM_BYTES_PER_OBJECT"]

@@ -1,0 +1,196 @@
+"""An in-memory B-tree, built from scratch for the KVell baseline.
+
+KVell (SOSP '19) keeps a sorted in-memory B-tree index from keys to
+on-disk slot locations.  The tree here is a textbook B-tree of order
+``2t`` with iterative search and standard split-on-insert; deletion
+uses lazy tombstoning plus periodic rebuild (KVell itself never needs
+sorted deletion performance — scans are rare).
+
+``search``/``insert`` return the number of nodes visited so the
+caller can charge CPU time per node — the "computation-heavy" B-tree
+descent that limits KVell on wimpy SmartNIC cores (Table 3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+
+class _Node:
+    """One B-tree node."""
+
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self, leaf: bool = True):
+        self.keys: List[bytes] = []
+        self.values: List[Any] = []
+        self.children: List["_Node"] = [] if leaf else []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """A B-tree mapping byte-string keys to arbitrary values."""
+
+    def __init__(self, min_degree: int = 32):
+        if min_degree < 2:
+            raise ValueError("min_degree must be >= 2")
+        self.t = min_degree
+        self.root = _Node(leaf=True)
+        self.size = 0
+        self.height = 1
+
+    # -- search -----------------------------------------------------------------------
+
+    def search(self, key: bytes) -> Tuple[Optional[Any], int]:
+        """(value or None, nodes_visited)."""
+        node = self.root
+        visited = 0
+        while True:
+            visited += 1
+            index = self._lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return node.values[index], visited
+            if node.leaf:
+                return None, visited
+            node = node.children[index]
+
+    @staticmethod
+    def _lower_bound(keys: List[bytes], key: bytes) -> int:
+        lo, hi = 0, len(keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if keys[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    # -- insert ------------------------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> Tuple[bool, int]:
+        """Insert or overwrite; returns (is_new_key, nodes_visited)."""
+        visited = 0
+        root = self.root
+        if len(root.keys) == 2 * self.t - 1:
+            new_root = _Node(leaf=False)
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self.root = new_root
+            self.height += 1
+        node = self.root
+        while True:
+            visited += 1
+            index = self._lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+                return False, visited
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+                self.size += 1
+                return True, visited
+            child = node.children[index]
+            if len(child.keys) == 2 * self.t - 1:
+                self._split_child(node, index)
+                if key > node.keys[index]:
+                    index += 1
+                elif key == node.keys[index]:
+                    node.values[index] = value
+                    return False, visited
+            node = node.children[index]
+
+    def _split_child(self, parent: _Node, index: int) -> None:
+        t = self.t
+        child = parent.children[index]
+        sibling = _Node(leaf=child.leaf)
+        mid_key = child.keys[t - 1]
+        mid_value = child.values[t - 1]
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        child.keys = child.keys[:t - 1]
+        child.values = child.values[:t - 1]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, mid_key)
+        parent.values.insert(index, mid_value)
+        parent.children.insert(index + 1, sibling)
+
+    # -- delete (tombstone + rebuild) -------------------------------------------------------
+
+    def delete(self, key: bytes) -> Tuple[bool, int]:
+        """Remove a key by overwriting with a tombstone sentinel.
+
+        Returns (was_present, nodes_visited).  Space is reclaimed by
+        :meth:`rebuild`, which KVell-style stores run rarely.
+        """
+        node = self.root
+        visited = 0
+        while True:
+            visited += 1
+            index = self._lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                if node.values[index] is _TOMBSTONE:
+                    return False, visited
+                node.values[index] = _TOMBSTONE
+                self.size -= 1
+                return True, visited
+            if node.leaf:
+                return False, visited
+            node = node.children[index]
+
+    def rebuild(self) -> None:
+        """Compact away tombstones by bulk-reloading live entries."""
+        pairs = [(k, v) for k, v in self.items()]
+        self.root = _Node(leaf=True)
+        self.size = 0
+        self.height = 1
+        for key, value in pairs:
+            self.insert(key, value)
+
+    # -- iteration ----------------------------------------------------------------------------
+
+    def items(self):
+        """Yield live (key, value) pairs in sorted order."""
+        yield from self._walk(self.root)
+
+    def _walk(self, node: _Node):
+        if node.leaf:
+            for key, value in zip(node.keys, node.values):
+                if value is not _TOMBSTONE:
+                    yield key, value
+            return
+        for index, child in enumerate(node.children):
+            yield from self._walk(child)
+            if index < len(node.keys) and node.values[index] is not _TOMBSTONE:
+                yield node.keys[index], node.values[index]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, key: bytes) -> bool:
+        value, _ = self.search(key)
+        return value is not None and value is not _TOMBSTONE
+
+    def get(self, key: bytes, default: Any = None) -> Any:
+        value, _ = self.search(key)
+        if value is None or value is _TOMBSTONE:
+            return default
+        return value
+
+    def __repr__(self):
+        return "<BTree size=%d height=%d t=%d>" % (self.size, self.height,
+                                                   self.t)
+
+
+class _Tombstone:
+    __slots__ = ()
+
+    def __repr__(self):
+        return "<tombstone>"
+
+
+_TOMBSTONE = _Tombstone()

@@ -1,0 +1,8 @@
+"""A leveled LSM-tree store — the design §3.2.1 argues against."""
+
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.baselines.lsm.datastore import LsmConfig, LsmDataStore, LsmStats
+from repro.baselines.lsm.sstable import DELETED, SSTable, write_sstable
+
+__all__ = ["LsmDataStore", "LsmConfig", "LsmStats", "SSTable",
+           "write_sstable", "BloomFilter", "DELETED"]

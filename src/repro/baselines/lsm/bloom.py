@@ -1,0 +1,63 @@
+"""A Bloom filter, built from scratch for the LSM baseline.
+
+LSM stores keep one filter per SSTable so a GET can skip tables that
+certainly lack the key (LevelDB/RocksDB do exactly this).  Double
+hashing (Kirsch-Mitzenmacher) derives the k probe positions from two
+independent 64-bit hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over byte-string keys."""
+
+    def __init__(self, expected_items: int, bits_per_key: int = 10):
+        if expected_items < 1:
+            raise ValueError("expected_items must be >= 1")
+        if bits_per_key < 1:
+            raise ValueError("bits_per_key must be >= 1")
+        self.num_bits = max(expected_items * bits_per_key, 8)
+        #: Optimal probe count for the chosen density: k = m/n ln 2.
+        self.num_probes = max(int(round(bits_per_key * math.log(2))), 1)
+        self._bits = bytearray((self.num_bits + 7) // 8)
+        self.items_added = 0
+
+    def _hashes(self, key: bytes):
+        digest = hashlib.sha256(key).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:16], "little") | 1
+        for probe in range(self.num_probes):
+            yield (h1 + probe * h2) % self.num_bits
+
+    def add(self, key: bytes) -> None:
+        for position in self._hashes(key):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.items_added += 1
+
+    def might_contain(self, key: bytes) -> bool:
+        """False means *definitely absent*; True means "probably"."""
+        for position in self._hashes(key):
+            if not self._bits[position >> 3] & (1 << (position & 7)):
+                return False
+        return True
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.might_contain(key)
+
+    @property
+    def size_bytes(self) -> int:
+        """In-memory footprint (what the DRAM accountant charges)."""
+        return len(self._bits)
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (a saturation diagnostic)."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits
+
+    def __repr__(self):
+        return "<BloomFilter bits=%d probes=%d items=%d>" % (
+            self.num_bits, self.num_probes, self.items_added)

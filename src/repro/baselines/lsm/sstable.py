@@ -1,0 +1,170 @@
+"""SSTables: immutable sorted runs on the device.
+
+One SSTable is written in a single sequential burst and never
+modified: sorted ``(key, value)`` records packed into blocks, plus an
+in-memory sparse index (first key of each block) and a Bloom filter.
+A point lookup is: bloom check (DRAM) → binary-search the sparse
+index (DRAM) → one block read (device) → scan within the block.
+
+Record format: klen u16 | vlen u32 | key | value; vlen 0xFFFFFFFF
+marks a tombstone.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.hw.ssd import NVMeSSD
+
+RECORD_HEADER = struct.Struct("<HI")
+TOMBSTONE = 0xFFFFFFFF
+
+#: Sentinel object distinguishing "deleted" from "absent".
+DELETED = object()
+
+
+def pack_record(key: bytes, value: Optional[bytes]) -> bytes:
+    if value is None:
+        return RECORD_HEADER.pack(len(key), TOMBSTONE) + key
+    return RECORD_HEADER.pack(len(key), len(value)) + key + value
+
+
+def unpack_record(buffer: bytes, offset: int):
+    """(key, value_or_None, wire_size); value None == tombstone."""
+    klen, vlen = RECORD_HEADER.unpack_from(buffer, offset)
+    start = offset + RECORD_HEADER.size
+    key = bytes(buffer[start:start + klen])
+    if vlen == TOMBSTONE:
+        return key, None, RECORD_HEADER.size + klen
+    value = bytes(buffer[start + klen:start + klen + vlen])
+    return key, value, RECORD_HEADER.size + klen + vlen
+
+
+class SSTable:
+    """One immutable sorted run.
+
+    Construction happens through :func:`write_sstable`; reading uses
+    :meth:`get` (a simulation generator — it performs device reads).
+    """
+
+    def __init__(self, ssd: NVMeSSD, offset: int, block_size: int,
+                 block_first_keys: List[bytes], block_count: int,
+                 bloom: BloomFilter, num_records: int,
+                 min_key: bytes, max_key: bytes, table_id: int = 0):
+        self.ssd = ssd
+        self.offset = offset
+        self.block_size = block_size
+        self.block_first_keys = block_first_keys
+        self.block_count = block_count
+        self.bloom = bloom
+        self.num_records = num_records
+        self.min_key = min_key
+        self.max_key = max_key
+        self.table_id = table_id
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block_count * self.block_size
+
+    @property
+    def index_bytes(self) -> int:
+        """In-DRAM cost: sparse index + bloom filter."""
+        return (sum(len(k) + 8 for k in self.block_first_keys)
+                + self.bloom.size_bytes)
+
+    def overlaps(self, min_key: bytes, max_key: bytes) -> bool:
+        return not (self.max_key < min_key or max_key < self.min_key)
+
+    def _block_for(self, key: bytes) -> int:
+        """Binary search the sparse index for the candidate block."""
+        lo, hi = 0, len(self.block_first_keys) - 1
+        result = 0
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            if self.block_first_keys[mid] <= key:
+                result = mid
+                lo = mid + 1
+            else:
+                hi = mid - 1
+        return result
+
+    def get(self, key: bytes):
+        """Generator: point lookup; returns bytes, DELETED, or None."""
+        if key < self.min_key or key > self.max_key:
+            return None
+        if not self.bloom.might_contain(key):
+            return None
+        block_index = self._block_for(key)
+        block = yield from self.ssd.read(
+            self.offset + block_index * self.block_size, self.block_size)
+        cursor = 0
+        while cursor + RECORD_HEADER.size <= len(block):
+            klen, vlen = RECORD_HEADER.unpack_from(block, cursor)
+            if klen == 0:
+                break  # padding
+            record_key, value, size = unpack_record(block, cursor)
+            if record_key == key:
+                return DELETED if value is None else value
+            if record_key > key:
+                return None  # sorted: passed the slot
+            cursor += size
+        return None
+
+    def scan_all(self):
+        """Generator: read the whole table; returns [(key, value|None)]."""
+        records: List[Tuple[bytes, Optional[bytes]]] = []
+        data = yield from self.ssd.read(self.offset, self.size_bytes)
+        for block_start in range(0, len(data), self.block_size):
+            block = data[block_start:block_start + self.block_size]
+            cursor = 0
+            while cursor + RECORD_HEADER.size <= len(block):
+                klen, _vlen = RECORD_HEADER.unpack_from(block, cursor)
+                if klen == 0:
+                    break
+                key, value, size = unpack_record(block, cursor)
+                records.append((key, value))
+                cursor += size
+        return records
+
+    def __repr__(self):
+        return "<SSTable #%d %d records, %d blocks>" % (
+            self.table_id, self.num_records, self.block_count)
+
+
+def write_sstable(ssd: NVMeSSD, offset: int, block_size: int,
+                  records: Iterable[Tuple[bytes, Optional[bytes]]],
+                  table_id: int = 0, bits_per_key: int = 10):
+    """Generator: write sorted records as one SSTable.
+
+    ``records`` must be sorted by key and deduplicated.  Returns the
+    :class:`SSTable` handle (or None for an empty input).  The write
+    is sequential: blocks are packed and flushed in one pass.
+    """
+    block_first_keys: List[bytes] = []
+    current = bytearray()
+    blocks: List[bytes] = []
+    items = list(records)
+    if not items:
+        return None
+    bloom = BloomFilter(len(items), bits_per_key)
+    for key, value in items:
+        record = pack_record(key, value)
+        if len(record) > block_size:
+            raise ValueError("record of %d bytes exceeds block size"
+                             % len(record))
+        if len(current) + len(record) > block_size:
+            blocks.append(bytes(current)
+                          + b"\x00" * (block_size - len(current)))
+            current = bytearray()
+        if not current:
+            block_first_keys.append(key)
+        current.extend(record)
+        bloom.add(key)
+    if current:
+        blocks.append(bytes(current) + b"\x00" * (block_size - len(current)))
+    payload = b"".join(blocks)
+    yield from ssd.write(offset, payload)
+    return SSTable(ssd, offset, block_size, block_first_keys, len(blocks),
+                   bloom, len(items), items[0][0], items[-1][0], table_id)

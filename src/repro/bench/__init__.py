@@ -1,0 +1,31 @@
+"""Benchmark harness: per-table/figure experiment runners."""
+
+from repro.bench.harness import (
+    FULL,
+    QUICK,
+    ExperimentResult,
+    ScaleProfile,
+    build_cluster,
+    build_single_store,
+    drive_store,
+    load_cluster,
+    preload_store,
+    run_closed_loop,
+    run_open_loop,
+    scale_profile,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ScaleProfile",
+    "scale_profile",
+    "build_cluster",
+    "load_cluster",
+    "run_closed_loop",
+    "run_open_loop",
+    "build_single_store",
+    "preload_store",
+    "drive_store",
+    "QUICK",
+    "FULL",
+]

@@ -1,0 +1,77 @@
+"""Command-line runner for the paper experiments.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run fig7
+    python -m repro.bench run table3 --scale full
+    python -m repro.bench run all --scale quick
+
+Each experiment prints its :class:`ExperimentResult` table — the rows
+the corresponding paper table/figure reports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+EXPERIMENTS = {
+    "fig1": "Energy efficiency vs capacity, raw 4KB IO, 3 platforms",
+    "table1": "Platform comparison (skew, compute density, max load)",
+    "table3": "Single-node FAWN-JBOF / KVell-JBOF / LEED",
+    "fig5": "Queries/Joule, 6 YCSB workloads, 3 systems",
+    "fig6": "Latency vs throughput, 6 workloads, 1KB",
+    "fig7": "CRRS on/off vs Zipf skew",
+    "fig8": "Load-aware scheduling on/off vs Zipf skew",
+    "fig9": "Throughput timeline during node join/leave",
+    "fig10": "Intra-JBOF data swapping on/off",
+    "fig11": "GET/PUT/DEL latency breakdown",
+    "fig12": "Throughput vs PUT fraction, FAWN-Pi vs LEED",
+    "fig13": "Compaction intra-/inter-parallelism",
+    "fig14": "Latency vs throughput, 256B objects (appendix)",
+    "ablation_craq": "Dirty reads: CRRS shipping vs CRAQ version queries",
+    "ablation_lsm": "Data structure: circular log vs leveled LSM-tree",
+}
+
+
+def run_experiment(name: str, scale: str) -> None:
+    module = importlib.import_module("repro.bench.experiments." + name)
+    started = time.time()
+    result = module.run(scale)
+    elapsed = time.time() - started
+    print(result)
+    print("(%s scale, %.1f s wall time)" % (scale, elapsed))
+    print()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the LEED paper's tables and figures.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+    run_parser = subparsers.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument("experiment",
+                            choices=sorted(EXPERIMENTS) + ["all"])
+    run_parser.add_argument("--scale", choices=("quick", "full"),
+                            default="quick")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        width = max(len(name) for name in EXPERIMENTS)
+        for name in sorted(EXPERIMENTS):
+            print("%-*s  %s" % (width, name, EXPERIMENTS[name]))
+        return 0
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        run_experiment(name, args.scale)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

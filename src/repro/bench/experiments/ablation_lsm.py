@@ -1,0 +1,112 @@
+"""Ablation: LEED's circular log vs an LSM-tree on SmartNIC hardware.
+
+§3.2.1's design rationale for the circular log: "(2) it consumes
+fewer CPU cycles on reads/writes, unlike the sorting or
+synchronization phase in an LSM-based or B tree-based
+implementation."  With a leveled LSM store implemented
+(`repro.baselines.lsm`), the claim is measurable: run the same
+write-heavy workload through both designs on identical Stingray
+hardware and compare CPU time per operation, write amplification,
+and throughput.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.lsm.datastore import LsmConfig, LsmDataStore
+from repro.bench.harness import (
+    QUICK,
+    ExperimentResult,
+    build_single_store,
+    drive_store,
+    preload_store,
+)
+from repro.core.compaction import Compactor
+from repro.core.datastore import StoreConfig
+from repro.hw.cpu import Core
+from repro.hw.platforms import STINGRAY
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workloads.ycsb import YCSBWorkload
+
+
+def _build_lsm(value_size: int, seed: int):
+    sim = Simulator()
+    ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=256 << 20, block_size=512,
+                                  jitter=0.0), rng=RngRegistry(seed))
+    core = Core(sim, STINGRAY.freq_ghz)
+    store = LsmDataStore(sim, ssd, LsmConfig(
+        region_bytes=192 << 20,
+        memtable_bytes=32 << 10,
+        l1_bytes=256 << 10))
+    store.core = core
+    from repro.bench.harness import SingleStore
+    return SingleStore(sim, store, ssd, core)
+
+
+def run(scale: str = QUICK, value_size: int = 256) -> ExperimentResult:
+    num_records = 300 if scale == QUICK else 1200
+    num_ops = 1200 if scale == QUICK else 6000
+    result = ExperimentResult(
+        name="Ablation: circular log (LEED) vs leveled LSM-tree",
+        columns=["design", "workload", "kqps", "cpu_us_per_op",
+                 "write_amplification", "device_mb_written",
+                 "dram_bytes_per_obj"])
+    for workload_name in ("WR", "A"):
+        for design in ("circular-log", "lsm-tree"):
+            if design == "circular-log":
+                single = build_single_store(
+                    "leed", value_size=value_size,
+                    capacity_bytes=256 << 20, seed=9)
+                compactor = Compactor(single.store)
+                single.sim.process(compactor.maintenance_loop(200.0),
+                                   name="ablation.maint")
+            else:
+                single = _build_lsm(value_size, seed=9)
+                single.store.core = single.core
+
+                def lsm_maintenance(store=single.store, sim=single.sim):
+                    while True:
+                        yield sim.timeout(200.0)
+                        yield from store.maintenance()
+
+                single.sim.process(lsm_maintenance(),
+                                   name="ablation.lsm.maint")
+            preload_store(single, num_records, value_size)
+            workload = YCSBWorkload(workload_name, num_records,
+                                    value_size=value_size,
+                                    distribution="uniform", seed=19)
+            written_before = single.ssd.stats.write_bytes
+            cpu_before = single.core.busy_time_us
+            stats = drive_store(single, workload, num_ops, concurrency=16)
+            device_written = single.ssd.stats.write_bytes - written_before
+            cpu_spent = single.core.busy_time_us - cpu_before
+            store_stats = single.store.stats
+            if design == "lsm-tree":
+                amplification = store_stats.write_amplification()
+                dram = (sum(t.index_bytes
+                            for level in single.store.levels
+                            for t in level)
+                        + single.store.memtable_bytes)
+            else:
+                user = (store_stats.puts
+                        * (value_size + 28))  # value entry + key item
+                amplification = device_written / max(user, 1)
+                dram = single.store.segtbl.footprint_bytes()
+            live = max(getattr(single.store, "live_objects", 1), 1)
+            result.add(design=design, workload="YCSB-" + workload_name,
+                       kqps=stats.throughput_qps / 1e3,
+                       cpu_us_per_op=cpu_spent / max(stats.completed, 1),
+                       write_amplification=amplification,
+                       device_mb_written=device_written / 1e6,
+                       dram_bytes_per_obj=dram / live)
+    result.notes = ("§3.2.1: the circular log avoids the LSM's merge-"
+                    "sort CPU phase and level-rewrite write amplification"
+                    "; DRAM/object shows the memtable+filter footprint an"
+                    " LSM needs (LEED's SegTbl cost is per *segment* and"
+                    " amortizes to <0.5 B/object at scale).")
+    return result
+
+
+if __name__ == "__main__":
+    print(run())

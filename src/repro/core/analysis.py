@@ -1,0 +1,137 @@
+"""Analytic platform comparisons (Table 1) and capacity math (Table 3).
+
+These functions compute, from the platform spec sheets and the real
+serialized data-structure sizes, the quantities the paper derives on
+paper: storage-hierarchy skew, per-core computing density, the
+balls-into-bins maximum-load bound, and the DRAM-limited usable
+capacity of each indexing scheme at full 4x960 GB scale.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.baselines.fawn.datastore import FAWN_INDEX_BYTES_PER_OBJECT
+from repro.baselines.kvell.datastore import KVELL_DRAM_BYTES_PER_OBJECT
+from repro.core.segment import BUCKET_HEADER, KEY_ITEM_HEADER, VALUE_ENTRY_HEADER
+from repro.core.segtbl import SEGTBL_ENTRY_BYTES
+from repro.hw.platforms import (
+    RASPBERRY_PI,
+    SERVER_JBOF,
+    STINGRAY,
+    PlatformSpec,
+)
+
+#: DRAM the OS, network stack, and buffers take before indexes (bytes).
+SYSTEM_DRAM_RESERVE = 1 << 30
+
+
+@dataclass
+class PlatformRow:
+    """One column of Table 1."""
+
+    platform: str
+    storage_skew_ratio: float
+    network_density_gbps_per_core: float
+    storage_density_iops_per_core: float
+    max_load_expression: str
+
+
+def balls_into_bins_max_load(m: float, n: int) -> float:
+    """Expected maximum load: m/n + Θ(sqrt(m·ln n / n)) for m >> n ln n.
+
+    (Raab & Steger '98 — the bound the paper's Table 1 row 4 quotes.)
+    """
+    if n <= 1:
+        return m
+    return m / n + math.sqrt(2.0 * m * math.log(n) / n)
+
+
+def max_load_expression(n: int) -> str:
+    """The symbolic Table 1 row for an n-node cluster."""
+    return "%.4fm + O(sqrt(%.4fm))" % (1.0 / n, 2.0 * math.log(max(n, 2)) / n)
+
+
+def table1_rows(embedded_nodes: int = 100, jbof_nodes: int = 3
+                ) -> List[PlatformRow]:
+    """Compute Table 1 from our platform models."""
+    rows = []
+    for spec, n in ((RASPBERRY_PI, embedded_nodes),
+                    (SERVER_JBOF, jbof_nodes),
+                    (STINGRAY, jbof_nodes)):
+        rows.append(PlatformRow(
+            platform=spec.name,
+            storage_skew_ratio=spec.storage_skew_ratio(),
+            network_density_gbps_per_core=spec.network_density_gbps_per_core(),
+            storage_density_iops_per_core=spec.storage_density_iops_per_core(),
+            max_load_expression=max_load_expression(n)))
+    return rows
+
+
+# -- Table 3 capacity rows -----------------------------------------------------------
+
+def index_dram_budget(spec: PlatformSpec) -> int:
+    """DRAM available for indexing after the system reserve."""
+    return max(spec.dram_bytes - SYSTEM_DRAM_RESERVE, 0)
+
+
+def fawn_usable_fraction(spec: PlatformSpec, object_bytes: int,
+                         num_ssds: int = 4) -> float:
+    """Flash fraction FAWN can index with 6 B/object in DRAM."""
+    flash = spec.flash_bytes(num_ssds)
+    max_objects = index_dram_budget(spec) // FAWN_INDEX_BYTES_PER_OBJECT
+    return min(max_objects * object_bytes / flash, 1.0)
+
+
+def kvell_usable_fraction(spec: PlatformSpec, object_bytes: int,
+                          num_ssds: int = 4) -> float:
+    """Flash fraction KVell can index with its B-tree + caches."""
+    flash = spec.flash_bytes(num_ssds)
+    max_objects = index_dram_budget(spec) // KVELL_DRAM_BYTES_PER_OBJECT
+    return min(max_objects * object_bytes / flash, 1.0)
+
+
+def leed_usable_fraction(spec: PlatformSpec, object_bytes: int,
+                         num_ssds: int = 4, key_bytes: int = 16,
+                         block_size: int = 4096,
+                         keys_per_segment: int = 64) -> float:
+    """Flash fraction LEED's hybrid index exposes for values.
+
+    LEED's DRAM cost is per *segment* (~5 B), so DRAM never limits it;
+    what it pays instead is flash overhead: the key log (bucket
+    headers + key items, with bucket padding) and the per-value entry
+    header.  The usable fraction is value bytes over raw flash.
+    """
+    flash = spec.flash_bytes(num_ssds)
+    key_item = KEY_ITEM_HEADER.size + key_bytes
+    # Bucket packing efficiency: items per block after the header.
+    items_per_bucket = (block_size - BUCKET_HEADER.size) // key_item
+    key_log_per_object = block_size / items_per_bucket
+    value_log_per_object = VALUE_ENTRY_HEADER.size + key_bytes + object_bytes
+    per_object = key_log_per_object + value_log_per_object
+    max_objects_flash = flash / per_object
+    # DRAM check (never binding in practice): one SegTbl entry per
+    # segment of ``keys_per_segment`` objects.
+    max_objects_dram = (index_dram_budget(spec) // SEGTBL_ENTRY_BYTES
+                        ) * keys_per_segment
+    max_objects = min(max_objects_flash, max_objects_dram)
+    return min(max_objects * object_bytes / flash, 1.0)
+
+
+def capacity_table(spec: PlatformSpec = STINGRAY,
+                   num_ssds: int = 4) -> Dict[str, Dict[int, float]]:
+    """The Table 3 "Max. Capacity" rows for 256 B and 1 KB objects."""
+    table: Dict[str, Dict[int, float]] = {}
+    for system, fn in (("FAWN-JBOF", fawn_usable_fraction),
+                       ("KVell-JBOF", kvell_usable_fraction),
+                       ("LEED", leed_usable_fraction)):
+        table[system] = {size: fn(spec, size, num_ssds)
+                         for size in (256, 1024)}
+    return table
+
+
+def leed_dram_per_object(keys_per_segment: int = 64) -> float:
+    """LEED's in-DRAM bytes per object — the <0.5 B/object headline."""
+    return SEGTBL_ENTRY_BYTES / keys_per_segment

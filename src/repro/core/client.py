@@ -1,0 +1,283 @@
+"""The client front-end library (§3.1.2, §3.5, §3.7).
+
+Co-located with each application client, the front-end:
+
+* keeps a local ring snapshot (pushed by the control plane) and routes
+  each command to the right chain position — writes to the head, reads
+  to the *replica with the most available tokens* (CRRS, §3.7), or to
+  the tail when CRRS is disabled;
+* runs the flow-control scheduler of Algorithm 1, spending the token
+  allocations that back-end partitions piggyback on responses;
+* reacts to NACK / UNAVAILABLE / timeout by refreshing its ring view
+  from the control plane and retrying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.flow_control import FlowController, PendingRequest
+from repro.core.hashring import HashRing, VNode
+from repro.core.io_engine import TOKEN_COST
+from repro.core.jbof import LEAVING, RUNNING
+from repro.core.protocol import (
+    STATUS_NACK,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_UNAVAILABLE,
+    KVReply,
+    KVRequest,
+    MembershipUpdate,
+)
+from repro.net.rpc import RpcEndpoint, RpcError, RpcTimeout
+from repro.net.topology import Network, NicProfile
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+
+
+@dataclass
+class ClientResult:
+    """Outcome of one client-level operation."""
+
+    status: str
+    value: Optional[bytes] = None
+    latency_us: float = 0.0
+    retries: int = 0
+    served_by: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+
+@dataclass
+class ClientStats:
+    """Cumulative front-end statistics."""
+
+    operations: int = 0
+    ok: int = 0
+    not_found: int = 0
+    failures: int = 0
+    retries: int = 0
+    nacks: int = 0
+    timeouts: int = 0
+    overloads: int = 0
+    latencies_us: List[float] = field(default_factory=list)
+
+    def record(self, result: ClientResult) -> None:
+        """Fold one finished operation into the counters."""
+        self.operations += 1
+        self.retries += result.retries
+        if result.status == STATUS_OK:
+            self.ok += 1
+        elif result.status == STATUS_NOT_FOUND:
+            self.not_found += 1
+        else:
+            self.failures += 1
+        self.latencies_us.append(result.latency_us)
+
+    def mean_latency_us(self) -> float:
+        """Average end-to-end latency over recorded operations."""
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us)
+
+    def percentile_latency_us(self, quantile: float) -> float:
+        """Latency at ``quantile`` (e.g. 0.999 for the p99.9 tail)."""
+        if not self.latencies_us:
+            return 0.0
+        ordered = sorted(self.latencies_us)
+        index = min(int(quantile * len(ordered)), len(ordered) - 1)
+        return ordered[index]
+
+
+class FrontEndClient:
+    """One application client with its co-located front-end library."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str,
+                 control_plane_address: str = "controlplane",
+                 flow_control: bool = True, crrs: bool = True,
+                 read_policy: Optional[str] = None,
+                 request_timeout_us: float = 100_000.0,
+                 max_retries: int = 6, tenant: Optional[str] = None,
+                 nic_profile: Optional[NicProfile] = None):
+        self.sim = sim
+        self.address = address
+        self.control_plane_address = control_plane_address
+        self.crrs = crrs
+        #: Replica choice for GETs: "crrs" = most tokens (LEED §3.7),
+        #: "tail" = classic chain replication (FAWN), "any" = round
+        #: robin over replicas (a sharded KVell deployment).
+        self.read_policy = read_policy or ("crrs" if crrs else "tail")
+        self._read_rr = 0
+        self.request_timeout_us = request_timeout_us
+        self.max_retries = max_retries
+        self.tenant = tenant or address
+        network.attach(address, nic_profile)
+        self.rpc = RpcEndpoint(sim, network, address)
+        self.flow = FlowController(sim, enabled=flow_control,
+                                   name=address + ".flow")
+        self.local_ring: HashRing = HashRing([], replication=3, version=0)
+        self.vnode_states: Dict[str, str] = {}
+        self.stats = ClientStats()
+        self.rpc.register("membership", self._handle_membership)
+
+    # -- membership --------------------------------------------------------------------
+
+    def _handle_membership(self, src: str, update: MembershipUpdate):
+        self.apply_membership(update)
+        yield self.sim.timeout(0)
+        return None
+
+    def apply_membership(self, update: MembershipUpdate) -> None:
+        """Install a ring snapshot (stale versions are ignored)."""
+        if update.ring_version < self.local_ring.version:
+            return
+        vnodes = [VNode(vid, addr) for vid, addr in update.vnodes]
+        self.local_ring = HashRing(vnodes, update.replication,
+                                   update.ring_version)
+        self.vnode_states = dict(update.states)
+
+    def refresh_ring(self):
+        """Generator: pull a fresh snapshot from the control plane."""
+        try:
+            update = yield self.rpc.call(self.control_plane_address,
+                                         "get_ring", None, 16,
+                                         timeout_us=self.request_timeout_us)
+        except (RpcTimeout, RpcError):
+            return False
+        self.apply_membership(update)
+        return True
+
+    # -- target selection -----------------------------------------------------------------
+
+    def _pick_target(self, op: str, key: bytes):
+        """(hop, VNode) for this command under the current view."""
+        chain = self.local_ring.chain_for_key(key)
+        if not chain:
+            return None
+        if op in ("put", "del"):
+            return 0, chain[0]
+        # GET: prefer serving replicas; never a LEAVING/JOINING one.
+        candidates = [
+            (hop, vnode) for hop, vnode in enumerate(chain)
+            if self.vnode_states.get(vnode.vnode_id, RUNNING) == RUNNING]
+        if not candidates:
+            return len(chain) - 1, chain[-1]
+        policy = self.read_policy if not self.crrs else "crrs"
+        if policy == "crrs":
+            return max(candidates,
+                       key=lambda hv: self.flow.view(hv[1].vnode_id).tokens)
+        if policy == "any":
+            self._read_rr += 1
+            return candidates[self._read_rr % len(candidates)]
+        # Plain chain replication: reads at the tail only.
+        return candidates[-1]
+
+    # -- operations ----------------------------------------------------------------------------
+
+    def get(self, key: bytes):
+        """Generator: GET ``key``; returns a :class:`ClientResult`."""
+        return (yield from self._operate("get", key, None))
+
+    def put(self, key: bytes, value: bytes):
+        """Generator: PUT ``key`` = ``value``."""
+        return (yield from self._operate("put", key, value))
+
+    def delete(self, key: bytes):
+        """Generator: DEL ``key``."""
+        return (yield from self._operate("del", key, None))
+
+    def _operate(self, op: str, key: bytes, value: Optional[bytes]):
+        start = self.sim.now
+        retries = 0
+        while True:
+            target = self._pick_target(op, key)
+            if target is None:
+                ok = yield from self.refresh_ring()
+                if not ok:
+                    yield self.sim.timeout(1000.0)
+                target = self._pick_target(op, key)
+                if target is None:
+                    return ClientResult("no_ring",
+                                        latency_us=self.sim.now - start,
+                                        retries=retries)
+            hop, vnode = target
+            body = KVRequest(op, key, value, vnode.vnode_id,
+                             self.local_ring.version, hop, self.tenant)
+            reply = yield from self._issue(body, vnode)
+            if reply is None:
+                self.stats.timeouts += 1
+            elif reply.status in (STATUS_OK, STATUS_NOT_FOUND,
+                                  "store_full"):
+                result = ClientResult(reply.status, reply.value,
+                                      self.sim.now - start, retries,
+                                      reply.served_by)
+                self.stats.record(result)
+                return result
+            elif reply.status == STATUS_NACK:
+                self.stats.nacks += 1
+            elif reply.status == STATUS_OVERLOADED:
+                # Shed by the back-end: back off and retry without a
+                # ring refresh (the view is fine, the node is busy).
+                self.stats.overloads += 1
+                retries += 1
+                if retries > self.max_retries:
+                    result = ClientResult(STATUS_OVERLOADED,
+                                          latency_us=self.sim.now - start,
+                                          retries=retries)
+                    self.stats.record(result)
+                    return result
+                yield self.sim.timeout(150.0 * retries)
+                continue
+            elif reply.status == STATUS_UNAVAILABLE:
+                pass
+            retries += 1
+            if retries > self.max_retries:
+                result = ClientResult("unavailable",
+                                      latency_us=self.sim.now - start,
+                                      retries=retries)
+                self.stats.record(result)
+                return result
+            # Stale view or dead node: resync and back off briefly.
+            yield from self.refresh_ring()
+            yield self.sim.timeout(200.0 * retries)
+
+    def _issue(self, body: KVRequest, vnode: VNode):
+        """Generator: run one request through flow control + RPC."""
+        target = vnode.vnode_id
+        waiter: Event = self.sim.event()
+
+        def send():
+            self.sim.process(self._call(body, vnode, target, waiter),
+                             name=self.address + ".call")
+
+        self.flow.enqueue(self.tenant, PendingRequest(
+            target=target, token_cost=TOKEN_COST[body.op], send=send))
+        reply = yield waiter
+        return reply
+
+    def _call(self, body: KVRequest, vnode: VNode, target: str,
+              waiter: Event):
+        try:
+            reply: KVReply = yield self.rpc.call(
+                vnode.jbof_address, "kv", body, body.wire_bytes(),
+                timeout_us=self.request_timeout_us)
+        except (RpcTimeout, RpcError):
+            self.flow.on_complete(target)
+            if not waiter.triggered:
+                waiter.succeed(None)
+            return
+        # The reply may come from a different vnode (request shipping);
+        # credit the partition that actually served us.
+        credited = reply.served_by or target
+        self.flow.on_response(credited, reply.tokens)
+        self.flow.on_complete(target)
+        if not waiter.triggered:
+            waiter.succeed(reply)
+
+    def __repr__(self):
+        return "<FrontEndClient %s ops=%d>" % (self.address,
+                                               self.stats.operations)

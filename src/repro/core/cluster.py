@@ -1,0 +1,147 @@
+"""Cluster assembly: wire JBOFs, clients, and the control plane.
+
+This is the top-level convenience API most examples and benchmarks
+use::
+
+    cluster = LeedCluster(num_jbofs=3, clients=4)
+    cluster.start()
+    ... drive cluster.clients[i].get/put/delete inside processes ...
+    cluster.sim.run(until=...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.datastore import StoreConfig
+from repro.core.client import FrontEndClient
+from repro.core.jbof import JBOFNode, LeedOptions
+from repro.core.membership import ControlPlane
+from repro.hw.platforms import STINGRAY, PlatformSpec
+from repro.net.topology import NIC_100G, Network, NicProfile
+from repro.power.meter import EnergyReport, cluster_energy
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@dataclass
+class ClusterConfig:
+    """Shape of a LEED cluster."""
+
+    num_jbofs: int = 3
+    ssds_per_jbof: int = 4
+    vnodes_per_ssd: int = 1
+    num_clients: int = 2
+    replication: int = 3
+    platform: PlatformSpec = field(default_factory=lambda: STINGRAY)
+    options: LeedOptions = field(default_factory=LeedOptions)
+    #: Client-side feature switches (ablations).
+    flow_control: bool = True
+    crrs: bool = True
+    #: GET replica choice: "crrs" | "tail" | "any" (see FrontEndClient).
+    read_policy: Optional[str] = None
+    seed: int = 0
+    heartbeat_timeout_us: float = 200_000.0
+    #: Node NIC profile (100 GbE RDMA for JBOFs, 1 GbE USB for Pis).
+    nic_profile: Optional[NicProfile] = None
+    #: Node implementation: JBOFNode (LEED) or a baseline subclass.
+    node_class: type = JBOFNode
+    #: Store config forwarded verbatim to the node class (its type
+    #: depends on the node class: StoreConfig / FawnConfig / ...).
+    store: object = field(default_factory=StoreConfig)
+
+
+class LeedCluster:
+    """A complete simulated LEED deployment."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None, **overrides):
+        if config is None:
+            config = ClusterConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides")
+        self.config = config
+        self.sim = Simulator()
+        self.rng = RngRegistry(config.seed)
+        self.network = Network(self.sim)
+        self.control_plane = ControlPlane(
+            self.sim, self.network, replication=config.replication,
+            heartbeat_timeout_us=config.heartbeat_timeout_us)
+        self.jbofs: List[JBOFNode] = []
+        for index in range(config.num_jbofs):
+            node = config.node_class(
+                self.sim, self.network, "jbof%d" % index,
+                spec=config.platform, num_ssds=config.ssds_per_jbof,
+                vnodes_per_ssd=config.vnodes_per_ssd,
+                store_config=config.store, options=config.options,
+                rng=self.rng.fork("jbof%d" % index),
+                nic_profile=config.nic_profile,
+                control_plane_address=self.control_plane.address)
+            self.jbofs.append(node)
+            self.control_plane.register_jbof(node)
+        self.clients: List[FrontEndClient] = []
+        for index in range(config.num_clients):
+            client = FrontEndClient(
+                self.sim, self.network, "client%d" % index,
+                control_plane_address=self.control_plane.address,
+                flow_control=config.flow_control, crrs=config.crrs,
+                read_policy=config.read_policy)
+            self.clients.append(client)
+            self.control_plane.subscribe(client.address)
+        self._started = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Publish the initial ring to every node and client."""
+        if self._started:
+            return
+        self.control_plane.bootstrap()
+        # Give clients their initial view synchronously: a deployment
+        # fetches the ring before serving traffic.
+        payload = self.control_plane._update_payload()
+        for client in self.clients:
+            client.apply_membership(payload)
+        self._started = True
+
+    # -- convenience -----------------------------------------------------------------
+
+    def load(self, pairs, client_index: int = 0, parallelism: int = 16):
+        """Generator: bulk-load (key, value) pairs through one client."""
+        client = self.clients[client_index]
+        pending = []
+        for key, value in pairs:
+            pending.append(self.sim.process(client.put(key, value)))
+            if len(pending) >= parallelism:
+                yield self.sim.all_of(pending)
+                pending = []
+        if pending:
+            yield self.sim.all_of(pending)
+
+    def total_completed_requests(self) -> int:
+        """Client-visible successful operations so far."""
+        return sum(c.stats.ok + c.stats.not_found for c in self.clients)
+
+    def energy_joules(self) -> float:
+        """Total back-end energy so far (clients excluded, as in §4.3)."""
+        return cluster_energy([node.meter for node in self.jbofs])
+
+    def energy_report(self, label: str = "") -> EnergyReport:
+        """Requests-per-Joule summary for the run so far."""
+        return EnergyReport(
+            requests_completed=self.total_completed_requests(),
+            elapsed_us=self.sim.now,
+            energy_joules=self.energy_joules(),
+            label=label)
+
+    def all_vnode_stats(self) -> Dict[str, object]:
+        """Per-vnode protocol statistics, keyed by vnode id."""
+        stats = {}
+        for node in self.jbofs:
+            for vnode_id, runtime in node.vnodes.items():
+                stats[vnode_id] = runtime.stats
+        return stats
+
+    def __repr__(self):
+        return "<LeedCluster jbofs=%d clients=%d R=%d>" % (
+            len(self.jbofs), len(self.clients), self.config.replication)

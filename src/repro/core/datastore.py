@@ -1,0 +1,510 @@
+"""The LEED per-partition data store (§3.2, §3.3).
+
+One store owns a key range on one SSD partition: a circular key log
+(segments serialized as bucket arrays), a circular value log, and the
+in-DRAM SegTbl.  Commands follow the paper's NVMe access counts —
+GET/PUT/DEL issue 2/3/2 device accesses — and PUT overlaps the
+key-segment read with the value-log write so the extra access adds
+only ~10 µs of latency (Fig. 11).
+
+The store's design trades I/O bandwidth for DRAM (principle P1): the
+only per-object memory cost is amortized across a whole segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from repro.core.circular_log import CircularLog, LogFullError, LogRangeError
+from repro.core.segment import (
+    KeyItem,
+    Segment,
+    SegmentFullError,
+    TOMBSTONE_VLEN,
+    key_hash,
+    pack_value_entry,
+    segment_of,
+    unpack_value_entry,
+    value_entry_size,
+)
+from repro.core.segtbl import SegTbl
+from repro.hw.cpu import CYCLE_COSTS, Core
+from repro.hw.dram import Dram
+from repro.hw.ssd import NVMeSSD
+from repro.sim.core import Simulator
+
+#: Result statuses.
+OK = "ok"
+NOT_FOUND = "not_found"
+STORE_FULL = "store_full"
+
+
+@dataclass
+class OpResult:
+    """Outcome and latency breakdown of one data-store command."""
+
+    status: str
+    value: Optional[bytes] = None
+    total_us: float = 0.0
+    ssd_us: float = 0.0
+    cpu_us: float = 0.0
+    nvme_accesses: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+@dataclass
+class StoreConfig:
+    """Geometry and policy knobs for one store partition."""
+
+    #: Segments in the key space of this (virtual) node.
+    num_segments: int = 1024
+    #: Max overflow buckets per segment (the paper's M).
+    max_chain: int = 4
+    #: Key-log region size in bytes (block multiple).
+    key_log_bytes: int = 4 << 20
+    #: Value-log region size in bytes (block multiple).
+    value_log_bytes: int = 28 << 20
+    #: Fill fraction that triggers compaction.
+    compact_high_watermark: float = 0.80
+    #: Fill fraction compaction tries to reach before stopping.
+    compact_low_watermark: float = 0.60
+    #: Retries for optimistic reads racing compaction.
+    max_get_retries: int = 4
+    #: Fraction of each log kept free for compaction relocations:
+    #: client writes fail with STORE_FULL before eating the headroom
+    #: the compactor needs to make progress (no reclaim deadlock).
+    compaction_reserve_fraction: float = 0.06
+
+    def total_bytes(self) -> int:
+        """Combined on-SSD footprint of one partition's two logs."""
+        return self.key_log_bytes + self.value_log_bytes
+
+
+@dataclass
+class StoreStats:
+    """Cumulative per-store statistics."""
+
+    gets: int = 0
+    puts: int = 0
+    dels: int = 0
+    hits: int = 0
+    misses: int = 0
+    get_retries: int = 0
+    key_log_garbage_bytes: int = 0
+    value_garbage_bytes: int = 0
+    ssd_time_us: float = 0.0
+    cpu_time_us: float = 0.0
+    op_latency_us: Dict[str, float] = field(default_factory=lambda: {
+        "get": 0.0, "put": 0.0, "del": 0.0})
+
+    def mean_latency_us(self, op: str, count: int) -> float:
+        """Average latency of one command type over ``count`` ops."""
+        return self.op_latency_us[op] / count if count else 0.0
+
+
+#: Signature for swap-aware value placement: (store, key, value) ->
+#: (ssd_id, value_log).  The default places values on the home SSD.
+ValueRouter = Callable[["LeedDataStore", bytes, bytes], tuple]
+
+
+class LeedDataStore:
+    """One LEED partition: key log + value log + SegTbl."""
+
+    def __init__(self, sim: Simulator, ssd: NVMeSSD, config: StoreConfig,
+                 region_offset: int = 0, dram: Optional[Dram] = None,
+                 core: Optional[Core] = None, name: str = "store",
+                 store_id: int = 0):
+        self.sim = sim
+        self.ssd = ssd
+        self.config = config
+        self.name = name
+        #: Identity of this store among co-located stores on one JBOF.
+        #: Written into key items (the paper's per-entry SSD identifier,
+        #: §3.6 — one partition per SSD on the Stingray, so store id and
+        #: SSD id coincide there) and into value entries as the owner
+        #: tag used by swap merge-back.
+        self.store_id = store_id
+        self.core = core
+        block = ssd.block_size
+        if config.key_log_bytes % block or config.value_log_bytes % block:
+            raise ValueError("log sizes must be multiples of the %dB block"
+                             % block)
+        self.key_log = CircularLog(ssd, region_offset, config.key_log_bytes,
+                                   name=name + ".klog")
+        self.value_log = CircularLog(ssd, region_offset + config.key_log_bytes,
+                                     config.value_log_bytes,
+                                     name=name + ".vlog")
+        self.segtbl = SegTbl(sim, config.num_segments, dram=dram,
+                             name=name + ".segtbl")
+        self.stats = StoreStats()
+        #: Pluggable value placement (replaced by the swap mechanism).
+        self.value_router: ValueRouter = self._home_value_router
+        #: Peer stores on co-located SSDs, keyed by ssd_id — lets GETs
+        #: follow a swapped value's ssd_id to the right device (§3.6).
+        self.peer_value_logs: Dict[int, CircularLog] = {store_id: self.value_log}
+        #: Co-located stores by store_id (self included) — the value-log
+        #: compactor resolves swapped entries' owners through this map.
+        self.peer_stores: Dict[int, "LeedDataStore"] = {store_id: self}
+        #: Live object count (for occupancy reporting).
+        self.live_objects = 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    @staticmethod
+    def _home_value_router(store: "LeedDataStore", key: bytes,
+                           value: bytes) -> tuple:
+        return store.store_id, store.value_log
+
+    def _value_log_for(self, holder_store_id: int) -> CircularLog:
+        return self.peer_value_logs[holder_store_id]
+
+    def _charge_cpu(self, cycles: int):
+        """Generator: account CPU work (runs on the bound core if any)."""
+        if self.core is not None:
+            yield from self.core.execute(cycles)
+        else:
+            yield self.sim.timeout(cycles / 3.0e3)  # 3 GHz default
+
+    def _read_segment(self, offset: int, chain_len: int):
+        """Generator: fetch and deserialize a segment from the key log."""
+        blob = yield from self.key_log.read(offset,
+                                            chain_len * self.key_log.block_size)
+        return Segment.unpack(blob, self.key_log.block_size)
+
+    def _log_reserve_bytes(self, log: CircularLog) -> int:
+        """Headroom kept free for the compactor on ``log``.
+
+        At least a couple of max-length segments so relocation can
+        always land, but never so much that it sits below the
+        compaction watermark (which would deadlock tiny test logs).
+        """
+        floor = 2 * self.config.max_chain * log.block_size
+        fraction = int(log.size * self.config.compaction_reserve_fraction)
+        return min(max(fraction, floor), log.size // 4)
+
+    def _write_segment(self, segment: Segment, enforce_reserve: bool = False):
+        """Generator: append a segment and repoint the SegTbl.
+
+        Returns the new (offset, chain_len).  The old location becomes
+        key-log garbage.  With ``enforce_reserve`` the append fails
+        once it would eat into the compactor's headroom (client writes
+        set this; compaction itself does not).
+        """
+        old = self.segtbl.location(segment.seg_id)
+        blob = segment.pack(self.key_log.block_size,
+                            head=self.key_log.head % (1 << 32),
+                            tail=self.key_log.tail % (1 << 32))
+        if enforce_reserve and (self.key_log.free_bytes - len(blob)
+                                < self._log_reserve_bytes(self.key_log)):
+            raise LogFullError("%s: write would eat compaction reserve"
+                               % self.key_log.name)
+        offset = yield from self.key_log.append_blocks(blob)
+        self.segtbl.update(segment.seg_id, offset, segment.chain_len)
+        if old is not None:
+            self.stats.key_log_garbage_bytes += old[1] * self.key_log.block_size
+        return offset, segment.chain_len
+
+    # -- commands ---------------------------------------------------------------------
+
+    def get(self, key: bytes):
+        """Generator: GET — SegTbl lookup, segment read, value read.
+
+        Optimistic with respect to compaction: if the segment or value
+        moved underneath us (LogRangeError / key mismatch) the lookup
+        restarts from the SegTbl, up to ``max_get_retries`` times.
+        """
+        start = self.sim.now
+        cpu_us = ssd_us = 0.0
+        accesses = 0
+        self.stats.gets += 1
+        khash = key_hash(key)
+        seg_id = khash % self.config.num_segments
+
+        t0 = self.sim.now
+        yield from self._charge_cpu(CYCLE_COSTS["hash_lookup"])
+        cpu_us += self.sim.now - t0
+
+        result: Optional[OpResult] = None
+        for attempt in range(self.config.max_get_retries):
+            if attempt:
+                self.stats.get_retries += 1
+            location = self.segtbl.location(seg_id)
+            if location is None:
+                result = OpResult(NOT_FOUND)
+                break
+            offset, chain_len = location
+            t0 = self.sim.now
+            try:
+                segment = yield from self._read_segment(offset, chain_len)
+            except LogRangeError:
+                ssd_us += self.sim.now - t0
+                continue
+            ssd_us += self.sim.now - t0
+            accesses += 1
+
+            t0 = self.sim.now
+            scan_cycles = CYCLE_COSTS["bucket_scan_per_key"] * max(
+                sum(len(b.items) for b in segment.buckets), 1)
+            yield from self._charge_cpu(scan_cycles)
+            cpu_us += self.sim.now - t0
+
+            item = segment.find(key, khash)
+            if item is None or item.is_tombstone:
+                result = OpResult(NOT_FOUND)
+                break
+
+            entry_size = value_entry_size(len(key), item.vlen)
+            value_log = self._value_log_for(item.ssd_id)
+            t0 = self.sim.now
+            try:
+                blob = yield from value_log.read(item.voffset, entry_size)
+            except LogRangeError:
+                ssd_us += self.sim.now - t0
+                continue
+            ssd_us += self.sim.now - t0
+            accesses += 1
+
+            _seg_id, stored_key, value, _size, _owner = unpack_value_entry(blob)
+            if stored_key != key:
+                # The value log was compacted between the segment read and
+                # the value read; the fresh SegTbl view will resolve it.
+                continue
+            result = OpResult(OK, value=value)
+            break
+        if result is None:
+            result = OpResult(NOT_FOUND)
+
+        if result.ok:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        result.total_us = self.sim.now - start
+        result.ssd_us = ssd_us
+        result.cpu_us = result.total_us - ssd_us
+        result.nvme_accesses = accesses
+        self.stats.ssd_time_us += ssd_us
+        self.stats.cpu_time_us += result.cpu_us
+        self.stats.op_latency_us["get"] += result.total_us
+        return result
+
+    def put(self, key: bytes, value: bytes):
+        """Generator: PUT — 3 NVMe accesses, first two overlapped.
+
+        The value-log write starts immediately (its offset is reserved
+        synchronously) and runs in parallel with the key-segment read;
+        the updated segment is then appended (§3.3).
+        """
+        if not value:
+            raise ValueError("empty values are reserved as deletion markers")
+        start = self.sim.now
+        cpu_us = ssd_us = 0.0
+        self.stats.puts += 1
+        khash = key_hash(key)
+        seg_id = khash % self.config.num_segments
+
+        t0 = self.sim.now
+        yield from self._charge_cpu(CYCLE_COSTS["hash_lookup"])
+        cpu_us += self.sim.now - t0
+
+        yield self.segtbl.lock(seg_id)
+        try:
+            target_store_id, value_log = self.value_router(self, key, value)
+            entry = pack_value_entry(seg_id, key, value, owner_id=self.store_id)
+            reserve = self._log_reserve_bytes(value_log)
+            if value_log.free_bytes - len(entry) < reserve:
+                return self._finish_put(OpResult(STORE_FULL), start, ssd_us,
+                                        cpu_us, 0)
+            try:
+                voffset = value_log.reserve(len(entry))
+            except LogFullError:
+                return self._finish_put(OpResult(STORE_FULL), start, ssd_us,
+                                        cpu_us, 0)
+
+            t0 = self.sim.now
+            value_write = self.sim.process(
+                value_log.write_reserved(voffset, entry),
+                name=self.name + ".vwrite")
+            location = self.segtbl.location(seg_id)
+            if location is None:
+                segment = Segment(seg_id)
+                accesses = 2  # value write + segment write
+            else:
+                segment = yield from self._read_segment(*location)
+                accesses = 3
+            yield value_write
+            ssd_us += self.sim.now - t0
+
+            t0 = self.sim.now
+            yield from self._charge_cpu(CYCLE_COSTS["bucket_update"])
+            cpu_us += self.sim.now - t0
+
+            previous = segment.find(key, khash)
+            is_new_object = previous is None or previous.is_tombstone
+            if is_new_object:
+                self.live_objects += 1
+            else:
+                self.stats.value_garbage_bytes += value_entry_size(
+                    len(key), previous.vlen)
+            try:
+                segment.upsert(KeyItem(key, len(value), voffset,
+                                       ssd_id=target_store_id, khash=khash),
+                               self.key_log.block_size, self.config.max_chain)
+            except SegmentFullError:
+                if is_new_object:
+                    self.live_objects -= 1
+                return self._finish_put(OpResult(STORE_FULL), start, ssd_us,
+                                        cpu_us, accesses - 1)
+
+            t0 = self.sim.now
+            try:
+                yield from self._write_segment(segment, enforce_reserve=True)
+            except LogFullError:
+                ssd_us += self.sim.now - t0
+                return self._finish_put(OpResult(STORE_FULL), start, ssd_us,
+                                        cpu_us, accesses - 1)
+            ssd_us += self.sim.now - t0
+            return self._finish_put(OpResult(OK), start, ssd_us, cpu_us,
+                                    accesses)
+        finally:
+            self.segtbl.unlock(seg_id)
+
+    def _finish_put(self, result: OpResult, start: float, ssd_us: float,
+                    cpu_us: float, accesses: int) -> OpResult:
+        result.total_us = self.sim.now - start
+        result.ssd_us = ssd_us
+        result.cpu_us = result.total_us - ssd_us
+        result.nvme_accesses = accesses
+        self.stats.ssd_time_us += ssd_us
+        self.stats.cpu_time_us += result.cpu_us
+        self.stats.op_latency_us["put"] += result.total_us
+        return result
+
+    def delete(self, key: bytes):
+        """Generator: DEL — read segment, write tombstone (2 accesses)."""
+        start = self.sim.now
+        cpu_us = ssd_us = 0.0
+        accesses = 0
+        self.stats.dels += 1
+        khash = key_hash(key)
+        seg_id = khash % self.config.num_segments
+
+        t0 = self.sim.now
+        yield from self._charge_cpu(CYCLE_COSTS["hash_lookup"])
+        cpu_us += self.sim.now - t0
+
+        yield self.segtbl.lock(seg_id)
+        try:
+            location = self.segtbl.location(seg_id)
+            if location is None:
+                result = OpResult(NOT_FOUND)
+            else:
+                t0 = self.sim.now
+                segment = yield from self._read_segment(*location)
+                ssd_us += self.sim.now - t0
+                accesses += 1
+                item = segment.find(key, khash)
+                if item is None or item.is_tombstone:
+                    result = OpResult(NOT_FOUND)
+                else:
+                    self.stats.value_garbage_bytes += value_entry_size(
+                        len(key), item.vlen)
+                    self.live_objects -= 1
+                    item.vlen = TOMBSTONE_VLEN
+                    item.voffset = 0
+                    t0 = self.sim.now
+                    yield from self._charge_cpu(CYCLE_COSTS["bucket_update"])
+                    cpu_us += self.sim.now - t0
+                    t0 = self.sim.now
+                    try:
+                        yield from self._write_segment(segment,
+                                                       enforce_reserve=True)
+                        result = OpResult(OK)
+                    except LogFullError:
+                        result = OpResult(STORE_FULL)
+                    ssd_us += self.sim.now - t0
+                    accesses += 1
+        finally:
+            self.segtbl.unlock(seg_id)
+
+        result.total_us = self.sim.now - start
+        result.ssd_us = ssd_us
+        result.cpu_us = result.total_us - ssd_us
+        result.nvme_accesses = accesses
+        self.stats.ssd_time_us += ssd_us
+        self.stats.cpu_time_us += result.cpu_us
+        self.stats.op_latency_us["del"] += result.total_us
+        return result
+
+    # -- scans (COPY primitive substrate, §3.8) -----------------------------------------
+
+    def scan(self, predicate=None, batch_size: int = 32, visit=None):
+        """Generator: iterate live (key, value) pairs via real SSD reads.
+
+        Each segment is locked while its items are copied out, making
+        the scan mutually exclusive with PUT/DEL on that segment —
+        exactly the COPY semantics of §3.8.  ``predicate(key)`` filters
+        keys; ``visit(batch)`` (when given) receives lists of pairs as
+        they are produced, otherwise all pairs are returned at the end.
+        """
+        collected = []
+        batch = []
+        for seg_id in list(self.segtbl.existing_segments()):
+            yield self.segtbl.lock(seg_id)
+            try:
+                location = self.segtbl.location(seg_id)
+                if location is None:
+                    continue
+                segment = yield from self._read_segment(*location)
+                for item in segment.live_items():
+                    if predicate is not None and not predicate(item.key):
+                        continue
+                    entry_size = value_entry_size(len(item.key), item.vlen)
+                    value_log = self._value_log_for(item.ssd_id)
+                    try:
+                        blob = yield from value_log.read(item.voffset,
+                                                         entry_size)
+                    except LogRangeError:
+                        continue
+                    _sid, stored_key, value, _sz, _own = unpack_value_entry(blob)
+                    if stored_key != item.key:
+                        continue
+                    batch.append((stored_key, value))
+                    if visit is not None and len(batch) >= batch_size:
+                        yield from visit(batch)
+                        batch = []
+            finally:
+                self.segtbl.unlock(seg_id)
+        if visit is not None:
+            if batch:
+                yield from visit(batch)
+            return None
+        collected.extend(batch)
+        return collected
+
+    # -- occupancy & maintenance signals ----------------------------------------------
+
+    def key_log_pressure(self) -> float:
+        """Key-log fill fraction (the compaction trigger signal)."""
+        return self.key_log.fill_fraction()
+
+    def value_log_pressure(self) -> float:
+        """Value-log fill fraction (the compaction trigger signal)."""
+        return self.value_log.fill_fraction()
+
+    def needs_key_compaction(self) -> bool:
+        """True when the key log is past its high watermark."""
+        return self.key_log.fill_fraction() >= self.config.compact_high_watermark
+
+    def needs_value_compaction(self) -> bool:
+        """True when the value log is past its high watermark."""
+        return self.value_log.fill_fraction() >= self.config.compact_high_watermark
+
+    def __repr__(self):
+        return ("<LeedDataStore %s live=%d klog=%.0f%% vlog=%.0f%%>"
+                % (self.name, self.live_objects,
+                   100 * self.key_log.fill_fraction(),
+                   100 * self.value_log.fill_fraction()))

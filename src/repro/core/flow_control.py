@@ -1,0 +1,176 @@
+"""Inter-JBOF scheduler based on end-to-end flow control (§3.5, Alg. 1).
+
+The front-end keeps, per target partition, its latest view of that
+partition's token allocation (piggybacked on every response) and the
+number of outstanding commands.  A scheduling round walks the active
+tenants round-robin and submits a tenant's next request only when
+
+* the target offers enough tokens (Alg. 1 L5-7), or
+* there are no outstanding commands to that target (L9-13) — the
+  Nagle-style probe that keeps the pipe from deadlocking when the
+  client's token view went stale.
+
+Token views are updated on every successful submit (spend) and on
+every response (piggybacked allocation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+
+
+@dataclass
+class TargetView:
+    """Client-side view of one target partition's serving capability."""
+
+    tokens: int = 4          # optimistic initial allowance
+    outstanding: int = 0
+    last_update_us: float = 0.0
+
+
+@dataclass
+class PendingRequest:
+    """One request waiting in a tenant's front-end queue."""
+
+    target: str
+    token_cost: int
+    send: Callable[[], None]
+    enqueued_at: float = 0.0
+
+
+@dataclass
+class FlowStats:
+    """Cumulative flow-controller statistics."""
+
+    submitted: int = 0
+    deferred: int = 0
+    nagle_probes: int = 0
+    rounds: int = 0
+
+
+class FlowController:
+    """Client-side load-aware scheduler (one per front-end library).
+
+    Users enqueue requests with :meth:`enqueue`; the ``send`` callback
+    fires when the scheduler clears the request for submission.  Call
+    :meth:`on_response` whenever a response carrying a piggybacked
+    token allocation arrives, and :meth:`on_complete` when a request
+    retires.
+
+    With ``enabled=False`` every request is submitted immediately —
+    the ablation baseline of Fig. 8.
+    """
+
+    def __init__(self, sim: Simulator, enabled: bool = True,
+                 name: str = "flowctl"):
+        self.sim = sim
+        self.enabled = enabled
+        self.name = name
+        self.targets: Dict[str, TargetView] = {}
+        self._tenant_queues: Dict[str, Deque[PendingRequest]] = {}
+        self._tenant_order: List[str] = []
+        self._rr_index = 0
+        self.stats = FlowStats()
+        self._kick = Event(sim)
+        self._runner = sim.process(self._run(), name=name + ".sched")
+
+    # -- target state ------------------------------------------------------------
+
+    def view(self, target: str) -> TargetView:
+        """This client's (possibly stale) view of one partition."""
+        if target not in self.targets:
+            self.targets[target] = TargetView(last_update_us=self.sim.now)
+        return self.targets[target]
+
+    def on_response(self, target: str, allocated_tokens: int) -> None:
+        """Fold a piggybacked allocation into the local view."""
+        view = self.view(target)
+        view.tokens = max(allocated_tokens, 0)
+        view.last_update_us = self.sim.now
+        self._wake()
+
+    def on_complete(self, target: str) -> None:
+        """A request to ``target`` retired."""
+        view = self.view(target)
+        view.outstanding = max(view.outstanding - 1, 0)
+        self._wake()
+
+    def best_target(self, candidates: List[str]) -> str:
+        """The candidate with the most available tokens (CRRS replica
+        choice, §3.7)."""
+        return max(candidates, key=lambda t: self.view(t).tokens)
+
+    # -- request intake --------------------------------------------------------------
+
+    def enqueue(self, tenant: str, request: PendingRequest) -> None:
+        """Queue ``request`` for scheduling on behalf of ``tenant``."""
+        request.enqueued_at = self.sim.now
+        if not self.enabled:
+            self._submit(request)
+            return
+        if tenant not in self._tenant_queues:
+            self._tenant_queues[tenant] = deque()
+            self._tenant_order.append(tenant)
+        self._tenant_queues[tenant].append(request)
+        self._wake()
+
+    def queued(self) -> int:
+        """Requests still waiting in the front-end tenant queues."""
+        return sum(len(q) for q in self._tenant_queues.values())
+
+    # -- scheduling loop (Algorithm 1) -------------------------------------------------
+
+    def _wake(self) -> None:
+        if not self._kick.triggered:
+            self._kick.succeed()
+
+    def _run(self):
+        while True:
+            yield self._kick
+            self._kick = Event(self.sim)
+            if not self.enabled:
+                continue
+            self._schedule_round()
+
+    def _schedule_round(self) -> None:
+        self.stats.rounds += 1
+        progressed = True
+        while progressed:
+            progressed = False
+            for _ in range(len(self._tenant_order)):
+                tenant = self._tenant_order[self._rr_index % max(
+                    len(self._tenant_order), 1)]
+                self._rr_index += 1
+                queue = self._tenant_queues.get(tenant)
+                if not queue:
+                    continue
+                request = queue[0]
+                view = self.view(request.target)
+                if request.token_cost <= view.tokens:          # Alg.1 L5-7
+                    queue.popleft()
+                    view.tokens -= request.token_cost
+                    self._submit(request)
+                    progressed = True
+                elif view.outstanding < 1:                      # Alg.1 L9-13
+                    queue.popleft()
+                    view.tokens = 0
+                    self.stats.nagle_probes += 1
+                    self._submit(request)
+                    progressed = True
+                else:
+                    self.stats.deferred += 1
+
+    def _submit(self, request: PendingRequest) -> None:
+        view = self.view(request.target)
+        view.outstanding += 1
+        self.stats.submitted += 1
+        request.send()
+
+    def __repr__(self):
+        return "<FlowController %s queued=%d targets=%d>" % (
+            self.name, self.queued(), len(self.targets))

@@ -1,0 +1,229 @@
+"""Intra-JBOF I/O execution engine (§3.4).
+
+Each SSD partition gets:
+
+* an **active queue** — commands admitted to the store and awaiting
+  completion; its capacity, translated into *tokens* via the measured
+  per-IO latency, represents the SSD's current serving capability;
+* a **waiting queue** — runnable requests received from clients; its
+  occupancy is the overload signal used by data swapping (§3.6) and
+  flow control (§3.5).
+
+Token cost per command is decided offline from its NVMe access count
+(GET/PUT/DEL = 2/3/2, §3.3).  When a command retires, the engine pulls
+the next waiting command whose token requirement is satisfied —
+strictly FCFS, run-to-completion, no dedicated dispatcher core.
+
+The engine also allocates spare tokens among tenants in a weighted
+fashion; the per-tenant allocation is piggybacked on every response
+(the server half of the end-to-end flow control of §3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.datastore import LeedDataStore, OpResult
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+from repro.sim.queues import Store
+
+#: Offline-decided token cost per command (== NVMe accesses, §3.3).
+TOKEN_COST = {"get": 2, "put": 3, "del": 2, "copy": 4}
+
+#: Default number of tokens an idle partition exposes; derived from the
+#: SSD queue depth share of one partition (queue depth 128 at 2-3
+#: accesses per command leaves ~96 tokens of admission headroom).
+DEFAULT_TOKEN_CAPACITY = 96
+
+
+@dataclass
+class KVCommand:
+    """One queued key-value command."""
+
+    op: str
+    key: bytes
+    value: Optional[bytes] = None
+    tenant: str = "default"
+    enqueued_at: float = 0.0
+    started_at: float = 0.0
+    completion: Optional[Event] = None
+
+    @property
+    def token_cost(self) -> int:
+        return TOKEN_COST[self.op]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine statistics."""
+
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    total_wait_us: float = 0.0
+    total_service_us: float = 0.0
+    peak_waiting: int = 0
+
+    @property
+    def mean_wait_us(self) -> float:
+        return self.total_wait_us / self.completed if self.completed else 0.0
+
+
+class PartitionIOEngine:
+    """Token-based executor for one store partition."""
+
+    def __init__(self, sim: Simulator, store: LeedDataStore,
+                 token_capacity: int = DEFAULT_TOKEN_CAPACITY,
+                 waiting_capacity: int = 64, name: str = "engine"):
+        self.sim = sim
+        self.store = store
+        self.name = name
+        self.token_capacity = token_capacity
+        self._tokens = token_capacity
+        self.waiting: Store = Store(sim, capacity=waiting_capacity,
+                                    name=name + ".waitq")
+        #: Commands currently executing (the active queue).
+        self.active: List[KVCommand] = []
+        self.stats = EngineStats()
+        #: Relative weights for tenant token allocation.
+        self.tenant_weights: Dict[str, float] = {}
+        self._release_waiters: List[Event] = []
+        self._scheduler = sim.process(self._run(), name=name + ".sched")
+
+    # -- admission ------------------------------------------------------------------
+
+    @property
+    def tokens(self) -> int:
+        """Tokens not pinned by active commands."""
+        return self._tokens
+
+    @property
+    def waiting_occupancy(self) -> int:
+        return len(self.waiting)
+
+    @property
+    def active_occupancy(self) -> int:
+        return len(self.active)
+
+    def is_overloaded(self, threshold: int = 8) -> bool:
+        """Overload signal: a deep waiting queue (§3.6)."""
+        return len(self.waiting) >= threshold
+
+    def submit(self, command: KVCommand) -> Event:
+        """Enqueue a command; returns an event with its OpResult.
+
+        Rejects (fails the event) when the waiting queue is full —
+        backpressure the flow controller is expected to prevent.
+        """
+        command.enqueued_at = self.sim.now
+        command.completion = Event(self.sim)
+        self.stats.submitted += 1
+        if command.op not in TOKEN_COST:
+            command.completion.fail(ValueError("unknown op %r" % command.op))
+            command.completion.defuse()
+            return command.completion
+        if not self.waiting.try_put(command):
+            self.stats.rejected += 1
+            command.completion.fail(OverloadError(
+                "%s waiting queue full (%d)" % (self.name, len(self.waiting))))
+            command.completion.defuse()
+        self.stats.peak_waiting = max(self.stats.peak_waiting,
+                                      len(self.waiting))
+        return command.completion
+
+    # -- token allocation for flow control --------------------------------------------
+
+    def allocation_for(self, tenant: str, retiring_cost: int = 0) -> int:
+        """Tokens this tenant may spend, piggybacked on a response.
+
+        The grant is the *retirement credit* of the completing command
+        (1-for-1 replacement keeps a saturated pipe full) plus a
+        weighted share of the spare pool, minus backlog pressure from
+        the waiting queue (so an over-subscribed partition throttles
+        its tenants down instead of queueing without bound).
+        """
+        spare = self._tokens - len(self.waiting)
+        weights = self.tenant_weights
+        if weights:
+            total = sum(weights.values())
+            weight = weights.get(tenant, 1.0)
+            spare = int(spare * weight / max(total, weight))
+        return max(retiring_cost + spare, 0)
+
+    def set_tenant_weight(self, tenant: str, weight: float) -> None:
+        """Register a tenant's share of the spare token pool (§3.5)."""
+        self.tenant_weights[tenant] = weight
+
+    # -- execution loop -----------------------------------------------------------------
+
+    def _run(self):
+        while True:
+            command: KVCommand = yield self.waiting.get()
+            # Wait for tokens (the active queue's serving capability).
+            while self._tokens < command.token_cost:
+                yield self._token_released()
+            self._tokens -= command.token_cost
+            command.started_at = self.sim.now
+            self.stats.total_wait_us += command.started_at - command.enqueued_at
+            self.active.append(command)
+            self.sim.process(self._execute(command),
+                             name=self.name + ".exec")
+
+    def _token_released(self) -> Event:
+        event = Event(self.sim)
+        self._release_waiters.append(event)
+        return event
+
+    #: Writes hitting a full log wait for compaction and retry (the
+    #: paper: "PUTs would be served slowly if the new log entry
+    #: generation speed cannot catch up") — up to this many times.
+    STORE_FULL_RETRIES = 20
+    STORE_FULL_BACKOFF_US = 150.0
+
+    def _execute(self, command: KVCommand):
+        try:
+            if command.op == "get":
+                result = yield from self.store.get(command.key)
+            elif command.op == "put":
+                result = yield from self.store.put(command.key, command.value)
+                for _attempt in range(self.STORE_FULL_RETRIES):
+                    if result.status != "store_full":
+                        break
+                    yield self.sim.timeout(self.STORE_FULL_BACKOFF_US)
+                    result = yield from self.store.put(command.key,
+                                                       command.value)
+            elif command.op == "del":
+                result = yield from self.store.delete(command.key)
+            else:
+                raise ValueError("unknown op %r" % command.op)
+        except Exception as exc:  # surface store errors to the waiter
+            self._retire(command)
+            if command.completion and not command.completion.triggered:
+                command.completion.fail(exc)
+            return
+        self._retire(command)
+        self.stats.completed += 1
+        self.stats.total_service_us += self.sim.now - command.started_at
+        if command.completion and not command.completion.triggered:
+            command.completion.succeed(result)
+
+    def _retire(self, command: KVCommand) -> None:
+        try:
+            self.active.remove(command)
+        except ValueError:
+            pass
+        self._tokens += command.token_cost
+        waiters, self._release_waiters = self._release_waiters, []
+        for event in waiters:
+            if not event.triggered:
+                event.succeed()
+
+    def __repr__(self):
+        return "<PartitionIOEngine %s tokens=%d wait=%d active=%d>" % (
+            self.name, self._tokens, len(self.waiting), len(self.active))
+
+
+class OverloadError(Exception):
+    """A command was rejected because the waiting queue was full."""

@@ -1,0 +1,651 @@
+"""The LEED JBOF server node (§3.1.2, §3.4, §3.6, §3.7, §3.8).
+
+One :class:`JBOFNode` models a SmartNIC JBOF: SSDs, the SoC cores with
+the paper's static core mapping (cores 0..n-1 drive SSDs, the next
+cores poll the RDMA receive queues, the last one runs control-plane
+tasks), DRAM, a wall-power meter, and a set of *virtual nodes* — one
+LEED data store + token I/O engine + compactor per partition.
+
+The node implements:
+
+* the CRRS write path: non-tail replicas mark the key dirty, execute,
+  and forward; the tail commits, replies **directly to the client**
+  with a one-sided WRITE, and starts the backward ack cascade;
+* the CRRS read path: a clean replica serves locally, a dirty one
+  ships the request envelope to the tail;
+* hop-counter view validation with NACKs (§3.8.1);
+* the COPY primitive for join/leave data migration;
+* intra-JBOF data swapping of overloaded writes (§3.6);
+* heartbeats to the control plane.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.compaction import CompactionConfig, Compactor
+from repro.core.datastore import LeedDataStore, OpResult, StoreConfig
+from repro.core.hashring import HashRing, VNode
+from repro.core.io_engine import (
+    TOKEN_COST,
+    KVCommand,
+    OverloadError,
+    PartitionIOEngine,
+)
+from repro.core.protocol import (
+    STATUS_NACK,
+    STATUS_NOT_FOUND,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_STORE_FULL,
+    STATUS_UNAVAILABLE,
+    ChainAck,
+    CopyBatch,
+    Heartbeat,
+    KVReply,
+    KVRequest,
+    MembershipUpdate,
+)
+from repro.hw.cpu import CYCLE_COSTS, CpuComplex
+from repro.hw.dram import Dram
+from repro.hw.platforms import STINGRAY, PlatformSpec
+from repro.hw.ssd import NVMeSSD
+from repro.net.rpc import RpcEndpoint, RpcRequest
+from repro.net.topology import Network, NicProfile, NIC_100G
+from repro.power.meter import PowerMeter
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Virtual-node lifecycle states (§3.8).
+JOINING = "JOINING"
+RUNNING = "RUNNING"
+LEAVING = "LEAVING"
+
+#: Wire size of one CRAQ-style version query / response.
+VERSION_QUERY_BYTES = 24
+
+
+@dataclass
+class LeedOptions:
+    """Feature switches for the ablation experiments."""
+
+    #: CRRS request shipping: reads at any clean replica (Fig. 7).
+    enable_crrs: bool = True
+    #: Dirty-read resolution: "ship" forwards the whole request to the
+    #: tail (LEED's CRRS, §3.7); "craq" sends a small version query to
+    #: the tail and serves locally when the replica is up to date (the
+    #: alternative the paper rejected for its extra internal traffic).
+    dirty_read_mode: str = "ship"
+    #: Intra-JBOF write swapping (Fig. 10).
+    enable_swap: bool = True
+    #: Waiting-queue depth that marks an engine overloaded.
+    swap_threshold: int = 6
+    #: Token pool per partition engine.
+    token_capacity: int = 96
+    #: Waiting queue capacity per partition engine.
+    waiting_capacity: int = 96
+    #: Compactor policy.
+    compaction: CompactionConfig = field(default_factory=CompactionConfig)
+    #: Background compaction poll period, µs.
+    maintenance_poll_us: float = 500.0
+    #: Heartbeat period, µs.
+    heartbeat_period_us: float = 50_000.0
+
+
+@dataclass
+class VNodeStats:
+    """Per-virtual-node protocol statistics."""
+
+    writes_forwarded: int = 0
+    writes_committed: int = 0
+    reads_served: int = 0
+    reads_shipped: int = 0
+    nacks: int = 0
+    copies_in: int = 0
+    copies_out: int = 0
+    version_queries: int = 0
+    version_query_bytes: int = 0
+
+
+class VNodeRuntime:
+    """One virtual node hosted on this JBOF."""
+
+    def __init__(self, vnode_id: str, store: LeedDataStore,
+                 engine: PartitionIOEngine, compactor: Compactor):
+        self.vnode_id = vnode_id
+        self.store = store
+        self.engine = engine
+        self.compactor = compactor
+        self.state = RUNNING
+        #: Dirty-key map for CRRS: key -> count of uncommitted writes.
+        self.dirty: Dict[bytes, int] = defaultdict(int)
+        #: Per-key versions for the CRAQ-style alternative: the version
+        #: this replica has applied, and (on the tail) the committed one.
+        self.applied_version: Dict[bytes, int] = {}
+        self.committed_version: Dict[bytes, int] = {}
+        self.stats = VNodeStats()
+
+    def mark_dirty(self, key: bytes) -> None:
+        """Note an uncommitted write (CRRS dirty bit, §3.7)."""
+        self.dirty[key] += 1
+
+    def clear_dirty(self, key: bytes) -> None:
+        """Drop one uncommitted-write reference (backward ack)."""
+        count = self.dirty.get(key, 0)
+        if count <= 1:
+            self.dirty.pop(key, None)
+        else:
+            self.dirty[key] = count - 1
+
+    def is_dirty(self, key: bytes) -> bool:
+        """Whether any write to ``key`` is awaiting its tail commit."""
+        return self.dirty.get(key, 0) > 0
+
+
+class JBOFNode:
+    """A SmartNIC JBOF running the LEED stack."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str,
+                 spec: PlatformSpec = STINGRAY, num_ssds: int = 4,
+                 vnodes_per_ssd: int = 1,
+                 store_config: Optional[StoreConfig] = None,
+                 options: Optional[LeedOptions] = None,
+                 rng: Optional[RngRegistry] = None,
+                 nic_profile: Optional[NicProfile] = None,
+                 control_plane_address: Optional[str] = None):
+        if num_ssds < 1 or num_ssds > spec.max_ssds:
+            raise ValueError("platform %s takes 1..%d SSDs"
+                             % (spec.name, spec.max_ssds))
+        self.sim = sim
+        self.network = network
+        self.address = address
+        self.spec = spec
+        self.options = options or LeedOptions()
+        self.store_config = store_config or StoreConfig()
+        self.rng = rng or RngRegistry()
+        self.control_plane_address = control_plane_address
+
+        network.attach(address, nic_profile or NIC_100G)
+        self.rpc = RpcEndpoint(sim, network, address)
+        self.cpu = CpuComplex(sim, spec.num_cores, spec.freq_ghz,
+                              name=address + ".cpu")
+        self.dram = Dram(spec.dram_bytes, spec.dram_bandwidth_bpus,
+                         name=address + ".dram")
+        self.ssds = [NVMeSSD(sim, spec.ssd_profile, rng=self.rng,
+                             name="%s.nvme%d" % (address, i))
+                     for i in range(num_ssds)]
+        self.meter = PowerMeter(sim, spec, self._utilization,
+                                name=address + ".meter")
+
+        # Static core mapping (§3.4): one core per SSD for storage I/O,
+        # remaining cores (minus the control core) poll the network.
+        self._storage_cores = [self.cpu[i % max(spec.num_cores - 1, 1)]
+                               for i in range(num_ssds)]
+        net_core_ids = list(range(num_ssds, spec.num_cores - 1)) or [0]
+        self._net_cores = [self.cpu[i] for i in net_core_ids]
+        self._net_core_rr = 0
+        self._control_core = self.cpu[spec.num_cores - 1]
+
+        #: vnode_id -> runtime.
+        self.vnodes: Dict[str, VNodeRuntime] = {}
+        self._build_vnodes(num_ssds, vnodes_per_ssd)
+
+        #: This node's view of the ring (updated by membership pushes).
+        self.local_ring: HashRing = HashRing([], replication=3, version=0)
+
+        self.requests_completed = 0
+        self.swap_redirects = 0
+        self.alive = True
+        #: Active migration mirrors: src vnode -> list of
+        #: {"arcs", "dst_vnode", "dst_address"}.  While a COPY is in
+        #: flight, writes committed here in those arcs are also shipped
+        #: to the destination so the migrated range stays consistent.
+        self._mirrors: Dict[str, List[dict]] = {}
+
+        self.rpc.register_raw("kv", self._handle_kv)
+        self.rpc.register("chain_ack", self._handle_chain_ack)
+        self.rpc.register("copy_batch", self._handle_copy_batch)
+        self.rpc.register("copy_mirror", self._handle_copy_mirror)
+        self.rpc.register("do_copy", self._handle_do_copy)
+        self.rpc.register("membership", self._handle_membership)
+        self.rpc.register("version_query", self._handle_version_query)
+        sim.process(self._maintenance(), name=address + ".maintenance")
+        if control_plane_address is not None:
+            sim.process(self._heartbeat_loop(), name=address + ".heartbeat")
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_vnodes(self, num_ssds: int, vnodes_per_ssd: int) -> None:
+        store_id = 0
+        all_stores: List[object] = []
+        for ssd_index, ssd in enumerate(self.ssds):
+            for slot in range(vnodes_per_ssd):
+                vnode_id = "%s/p%d" % (self.address, store_id)
+                runtime = self._make_vnode(vnode_id, ssd, ssd_index, slot,
+                                           store_id)
+                self.vnodes[vnode_id] = runtime
+                all_stores.append(runtime.store)
+                store_id += 1
+        self._cross_register(all_stores)
+
+    def _make_vnode(self, vnode_id: str, ssd: NVMeSSD, ssd_index: int,
+                    slot: int, store_id: int) -> VNodeRuntime:
+        """Create one vnode runtime.  Baseline nodes override this to
+        host FAWN or KVell stores behind the same protocol machinery."""
+        config = self.store_config
+        per_store = config.total_bytes()
+        if per_store * (slot + 1) > ssd.capacity_bytes:
+            raise ValueError(
+                "store %d of %d bytes exceeds SSD capacity %d"
+                % (slot, per_store, ssd.capacity_bytes))
+        store = LeedDataStore(
+            self.sim, ssd, config,
+            region_offset=slot * per_store,
+            dram=self.dram,
+            core=self.storage_core_for(store_id),
+            name=vnode_id,
+            store_id=store_id)
+        engine = PartitionIOEngine(
+            self.sim, store,
+            token_capacity=self.options.token_capacity,
+            waiting_capacity=self.options.waiting_capacity,
+            name=vnode_id + ".engine")
+        compactor = Compactor(store, self.options.compaction)
+        return VNodeRuntime(vnode_id, store, engine, compactor)
+
+    def storage_core_for(self, store_id: int) -> object:
+        """Core owning a partition: spread partitions over the
+        non-control cores (one per SSD on the Stingray; one per
+        worker on a many-core server)."""
+        return self.cpu[store_id % max(self.spec.num_cores - 1, 1)]
+
+    def _cross_register(self, all_stores: List[object]) -> None:
+        """Cross-register co-located LEED stores for swap & merge-back."""
+        leed_stores = [s for s in all_stores if isinstance(s, LeedDataStore)]
+        for store in leed_stores:
+            for peer in leed_stores:
+                store.peer_value_logs[peer.store_id] = peer.value_log
+                store.peer_stores[peer.store_id] = peer
+            if self.options.enable_swap:
+                store.value_router = self._swap_router
+
+    # -- power / utilization ---------------------------------------------------------
+
+    def _utilization(self) -> float:
+        """Blend of core and SSD busy fractions for the power model."""
+        if self.sim.now <= 0:
+            return 0.0
+        core_util = self.cpu.mean_utilization()
+        ssd_busy = sum(s.stats.busy_time_us / max(s.profile.channels, 1)
+                       for s in self.ssds)
+        ssd_util = min(ssd_busy / (self.sim.now * max(len(self.ssds), 1)), 1.0)
+        return min(0.5 * core_util + 0.5 * ssd_util, 1.0)
+
+    def _net_core(self):
+        core = self._net_cores[self._net_core_rr % len(self._net_cores)]
+        self._net_core_rr += 1
+        return core
+
+    # -- swap routing (§3.6) ------------------------------------------------------------
+
+    def _swap_router(self, store: LeedDataStore, key: bytes,
+                     value: bytes) -> tuple:
+        """Value placement: home SSD unless its engine is overloaded.
+
+        When the home partition's waiting queue exceeds the threshold
+        and a co-located partition on a *different* SSD has spare
+        capacity, the value write is redirected there; the key item
+        records the holder so GETs and merge-back find it.
+        """
+        home = self._runtime_of(store)
+        if home is None or not home.engine.is_overloaded(
+                self.options.swap_threshold):
+            return store.store_id, store.value_log
+        best = None
+        best_tokens = -1
+        for runtime in self.vnodes.values():
+            peer = runtime.store
+            if peer.ssd is store.ssd:
+                continue
+            if peer.value_log.free_bytes < len(value) + len(key) + 64:
+                continue
+            gap = (home.engine.waiting_occupancy
+                   - runtime.engine.waiting_occupancy)
+            if gap < self.options.swap_threshold // 2:
+                continue
+            if runtime.engine.tokens > best_tokens:
+                best = peer
+                best_tokens = runtime.engine.tokens
+        if best is None:
+            return store.store_id, store.value_log
+        self.swap_redirects += 1
+        return best.store_id, best.value_log
+
+    def _runtime_of(self, store: LeedDataStore) -> Optional[VNodeRuntime]:
+        for runtime in self.vnodes.values():
+            if runtime.store is store:
+                return runtime
+        return None
+
+    # -- request handling (CRRS, §3.7) -----------------------------------------------------
+
+    def _handle_kv(self, src: str, request: RpcRequest):
+        """Raw handler: the response may be produced by another node."""
+        body: KVRequest = request.body
+        yield from self._net_core().execute(CYCLE_COSTS["rpc_receive"])
+        runtime = self.vnodes.get(body.vnode_id)
+        if runtime is None or runtime.state == JOINING or not self.alive:
+            self._respond(request, KVReply(STATUS_UNAVAILABLE,
+                                           ring_version=self.local_ring.version))
+            return
+        if runtime.state == LEAVING and body.op != "get":
+            self._respond(request, KVReply(STATUS_UNAVAILABLE,
+                                           ring_version=self.local_ring.version))
+            return
+
+        # Hop-counter view validation (§3.8.1).
+        chain = self.local_ring.chain_ids_for_key(body.key)
+        if (body.hop >= len(chain) or chain[body.hop] != body.vnode_id
+                or body.vnode_id not in self.local_ring.vnodes):
+            runtime.stats.nacks += 1
+            self._respond(request, KVReply(
+                STATUS_NACK, ring_version=self.local_ring.version))
+            return
+
+        if body.op == "get":
+            yield from self._serve_get(runtime, request, body, chain)
+        else:
+            yield from self._serve_write(runtime, request, body, chain)
+
+    def _respond(self, request: RpcRequest, reply: KVReply) -> None:
+        self.rpc.respond(request, reply, reply.wire_bytes())
+
+    def _serve_get(self, runtime: VNodeRuntime, request: RpcRequest,
+                   body: KVRequest, chain: List[str]):
+        is_tail = body.hop == len(chain) - 1
+        if not is_tail and runtime.is_dirty(body.key):
+            tail_id = chain[-1]
+            tail_vnode = self.local_ring.vnodes.get(tail_id)
+            if tail_vnode is None:
+                self._respond(request, KVReply(
+                    STATUS_NACK, ring_version=self.local_ring.version))
+                return
+            if self.options.dirty_read_mode == "craq":
+                # CRAQ-style: ask the tail which version is committed;
+                # serve locally when this replica already has it.
+                runtime.stats.version_queries += 1
+                runtime.stats.version_query_bytes += 2 * VERSION_QUERY_BYTES
+                try:
+                    committed = yield self.rpc.call(
+                        tail_vnode.jbof_address, "version_query",
+                        {"vnode": tail_id, "key": body.key},
+                        VERSION_QUERY_BYTES, timeout_us=50_000.0)
+                except Exception:
+                    committed = None
+                local = runtime.applied_version.get(body.key, 0)
+                if committed is not None and committed <= local:
+                    result = yield from self._execute(runtime, body)
+                    runtime.stats.reads_served += 1
+                    self._respond(request,
+                                  self._reply_for(runtime, body, result))
+                    return
+            # Request shipping: the tail holds the committed latest value.
+            runtime.stats.reads_shipped += 1
+            shipped = KVRequest("get", body.key, None, tail_id,
+                                body.ring_version, len(chain) - 1, body.tenant)
+            self.rpc.forward(tail_vnode.jbof_address, request, shipped,
+                             shipped.wire_bytes())
+            yield self.sim.timeout(0)
+            return
+        result = yield from self._execute(runtime, body)
+        runtime.stats.reads_served += 1
+        self._respond(request, self._reply_for(runtime, body, result))
+
+    def _serve_write(self, runtime: VNodeRuntime, request: RpcRequest,
+                     body: KVRequest, chain: List[str]):
+        is_tail = body.hop == len(chain) - 1
+        if not is_tail:
+            runtime.mark_dirty(body.key)
+            runtime.applied_version[body.key] = \
+                runtime.applied_version.get(body.key, 0) + 1
+            result = yield from self._execute(runtime, body)
+            if not result.ok and result.status != "not_found":
+                # Local failure (e.g. store full): surface immediately.
+                runtime.clear_dirty(body.key)
+                self._respond(request, self._reply_for(runtime, body, result))
+                return
+            runtime.stats.writes_forwarded += 1
+            next_id = chain[body.hop + 1]
+            next_vnode = self.local_ring.vnodes.get(next_id)
+            if next_vnode is None:
+                runtime.clear_dirty(body.key)
+                self._respond(request, KVReply(
+                    STATUS_NACK, ring_version=self.local_ring.version))
+                return
+            yield from self._net_core().execute(
+                CYCLE_COSTS["replication_forward"])
+            forwarded = KVRequest(body.op, body.key, body.value, next_id,
+                                  body.ring_version, body.hop + 1, body.tenant)
+            self.rpc.forward(next_vnode.jbof_address, request, forwarded,
+                             forwarded.wire_bytes())
+            return
+        # Tail: commitment point.
+        version = runtime.applied_version.get(body.key, 0) + 1
+        runtime.applied_version[body.key] = version
+        runtime.committed_version[body.key] = version
+        result = yield from self._execute(runtime, body)
+        runtime.stats.writes_committed += 1
+        self._respond(request, self._reply_for(runtime, body, result))
+        # Backward ack cascade clears dirty bits.
+        if len(chain) > 1:
+            self._send_ack(chain, len(chain) - 2, body.key)
+        # Mirror committed writes of ranges being migrated (§3.8.1:
+        # "incoming PUTs ... might be forwarded to the new virtual
+        # node depending on if their keys are copied").
+        if result.ok and body.op == "put":
+            self._mirror_write(runtime.vnode_id, body.key, body.value)
+
+    def _send_ack(self, chain: List[str], index: int, key: bytes) -> None:
+        if index < 0:
+            return
+        vnode = self.local_ring.vnodes.get(chain[index])
+        if vnode is None:
+            return
+        ack = ChainAck(key=key, vnode_id=chain[index], chain=list(chain),
+                       index=index)
+        self.rpc.notify(vnode.jbof_address, "chain_ack", ack, ack.wire_bytes())
+
+    def _handle_version_query(self, src: str, body: dict):
+        """CRAQ-style: report the committed version of a key (tail)."""
+        yield from self._net_core().execute(CYCLE_COSTS["dirty_map_op"])
+        runtime = self.vnodes.get(body["vnode"])
+        committed = 0
+        if runtime is not None:
+            committed = runtime.committed_version.get(body["key"], 0)
+        return committed, VERSION_QUERY_BYTES
+
+    def _handle_chain_ack(self, src: str, ack: ChainAck):
+        yield from self._net_core().execute(CYCLE_COSTS["dirty_map_op"])
+        runtime = self.vnodes.get(ack.vnode_id)
+        if runtime is not None:
+            runtime.clear_dirty(ack.key)
+        self._send_ack(ack.chain, ack.index - 1, ack.key)
+        return None
+
+    def _execute(self, runtime: VNodeRuntime, body: KVRequest):
+        """Generator: run the command through the partition engine."""
+        command = KVCommand(body.op, body.key, body.value, tenant=body.tenant)
+        try:
+            result: OpResult = yield runtime.engine.submit(command)
+        except OverloadError:
+            # Waiting queue overflowed: shed the request (§2.3's
+            # overload hazard).  The client backs off and retries.
+            return OpResult(STATUS_OVERLOADED)
+        self.requests_completed += 1
+        return result
+
+    def _reply_for(self, runtime: VNodeRuntime, body: KVRequest,
+                   result: OpResult) -> KVReply:
+        status = {
+            "ok": STATUS_OK,
+            "not_found": STATUS_NOT_FOUND,
+            "store_full": STATUS_STORE_FULL,
+        }.get(result.status, result.status)
+        return KVReply(status, value=result.value,
+                       tokens=runtime.engine.allocation_for(
+                           body.tenant, TOKEN_COST.get(body.op, 0)),
+                       served_by=runtime.vnode_id,
+                       ring_version=self.local_ring.version)
+
+    # -- COPY primitive (§3.8) -------------------------------------------------------------
+
+    def copy_out(self, src_vnode_id: str, dst_vnode_id: str,
+                 dst_address: str, predicate=None, batch_size: int = 16):
+        """Generator: stream the vnode's (filtered) contents to ``dst``.
+
+        Segments are locked while being copied (COPY is mutually
+        exclusive with PUT/DEL); pairs are shipped in batches that the
+        destination applies through its engine as PUTs.
+        """
+        runtime = self.vnodes.get(src_vnode_id)
+        if runtime is None:
+            return 0
+        sent = [0]
+
+        def ship(batch):
+            payload = CopyBatch(src_vnode_id, dst_vnode_id,
+                                pairs=list(batch))
+            sent[0] += len(batch)
+            runtime.stats.copies_out += len(batch)
+            yield self.rpc.call(dst_address, "copy_batch", payload,
+                                payload.wire_bytes(), timeout_us=5e6)
+
+        yield from runtime.store.scan(predicate=predicate,
+                                      batch_size=batch_size, visit=ship)
+        finale = CopyBatch(src_vnode_id, dst_vnode_id, pairs=[], done=True)
+        yield self.rpc.call(dst_address, "copy_batch", finale,
+                            finale.wire_bytes(), timeout_us=5e6)
+        return sent[0]
+
+    def _handle_copy_batch(self, src: str, batch: CopyBatch):
+        runtime = self.vnodes.get(batch.dst_vnode)
+        if runtime is None:
+            return KVReply(STATUS_NACK), 16
+        applied = 0
+        for key, value in batch.pairs:
+            result = yield runtime.engine.submit(
+                KVCommand("put", key, value, tenant="__copy__"))
+            if result.ok:
+                applied += 1
+        runtime.stats.copies_in += applied
+        reply = KVReply(STATUS_OK, tokens=runtime.engine.allocation_for(
+            "__copy__"))
+        return reply, reply.wire_bytes()
+
+    # -- migration write mirroring --------------------------------------------------------------
+
+    def begin_mirror(self, src_vnode: str, arcs, dst_vnode: str,
+                     dst_address: str) -> None:
+        """Start mirroring committed writes of ``arcs`` to ``dst``."""
+        self._mirrors.setdefault(src_vnode, []).append(
+            {"arcs": list(arcs), "dst_vnode": dst_vnode,
+             "dst_address": dst_address})
+
+    def end_mirror(self, src_vnode: str, dst_vnode: str) -> None:
+        """Stop mirroring a finished migration's writes."""
+        mirrors = self._mirrors.get(src_vnode, [])
+        self._mirrors[src_vnode] = [m for m in mirrors
+                                    if m["dst_vnode"] != dst_vnode]
+
+    def _mirror_write(self, vnode_id: str, key: bytes, value: bytes) -> None:
+        from repro.core.hashring import in_arcs, ring_position
+        for mirror in self._mirrors.get(vnode_id, []):
+            if in_arcs(ring_position(key), mirror["arcs"]):
+                payload = CopyBatch(vnode_id, mirror["dst_vnode"],
+                                    pairs=[(key, value)])
+                self.rpc.notify(mirror["dst_address"], "copy_mirror",
+                                payload, payload.wire_bytes())
+
+    def _handle_copy_mirror(self, src: str, batch: CopyBatch):
+        runtime = self.vnodes.get(batch.dst_vnode)
+        if runtime is None:
+            return None
+        for key, value in batch.pairs:
+            yield runtime.engine.submit(
+                KVCommand("put", key, value, tenant="__copy__"))
+        return None
+
+    def _handle_do_copy(self, src: str, body: dict):
+        """RPC entry point for control-plane-initiated COPY.
+
+        ``body`` carries src/dst vnode ids, the destination address and
+        the ring arcs to migrate.
+        """
+        from repro.core.hashring import in_arcs, ring_position
+        arcs = body["arcs"]
+        sent = yield from self.copy_out(
+            body["src_vnode"], body["dst_vnode"], body["dst_address"],
+            predicate=lambda key: in_arcs(ring_position(key), arcs))
+        return {"copied": sent}, 16
+
+    # -- membership & liveness ---------------------------------------------------------------
+
+    def _handle_membership(self, src: str, update: MembershipUpdate):
+        yield from self._control_core.execute(CYCLE_COSTS["rpc_receive"])
+        self.apply_membership(update)
+        return None
+
+    def apply_membership(self, update: MembershipUpdate) -> None:
+        """Install a new ring snapshot and vnode states."""
+        if update.ring_version < self.local_ring.version:
+            return
+        vnodes = [VNode(vid, addr) for vid, addr in update.vnodes]
+        self.local_ring = HashRing(vnodes, update.replication,
+                                   update.ring_version)
+        for vnode_id, state in update.states:
+            runtime = self.vnodes.get(vnode_id)
+            if runtime is not None:
+                runtime.state = state
+
+    def _heartbeat_loop(self):
+        while True:
+            yield self.sim.timeout(self.options.heartbeat_period_us)
+            if not self.alive:
+                return
+            beat = Heartbeat(self.address, self.sim.now)
+            self.rpc.notify(self.control_plane_address, "heartbeat", beat,
+                            beat.wire_bytes())
+
+    def _maintenance(self):
+        """Background compaction driver for all hosted stores."""
+        while True:
+            yield self.sim.timeout(self.options.maintenance_poll_us)
+            if not self.alive:
+                return
+            for runtime in list(self.vnodes.values()):
+                if runtime.compactor is not None:
+                    yield from runtime.compactor.maintenance()
+
+    # -- failure injection -------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop: drop off the network and stop serving."""
+        self.alive = False
+        self.network.partition(self.address)
+
+    def recover(self) -> None:
+        """Rejoin the network after a crash (fail-stop heal)."""
+        self.alive = True
+        self.network.heal(self.address)
+
+    # -- reporting ----------------------------------------------------------------------------
+
+    def total_completed(self) -> int:
+        """Requests this node has executed across all vnodes."""
+        return self.requests_completed
+
+    def __repr__(self):
+        return "<JBOFNode %s vnodes=%d completed=%d>" % (
+            self.address, len(self.vnodes), self.requests_completed)

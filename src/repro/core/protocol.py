@@ -1,0 +1,106 @@
+"""Wire-level message bodies exchanged between clients and JBOFs.
+
+Sizes are modeled explicitly (the fabric charges serialization per
+byte), so each body knows its wire footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+#: Fixed per-command header: op, ids, ring version, hop counter, tenant.
+KV_HEADER_BYTES = 24
+
+#: Statuses carried by KVReply.
+STATUS_OK = "ok"
+STATUS_NOT_FOUND = "not_found"
+STATUS_STORE_FULL = "store_full"
+STATUS_NACK = "nack"          # view mismatch; refresh ring and retry
+STATUS_UNAVAILABLE = "unavailable"  # vnode not serving (JOINING/LEAVING)
+STATUS_OVERLOADED = "overloaded"    # waiting queue overflow; retry later
+
+
+@dataclass
+class KVRequest:
+    """A client key-value command addressed to one vnode in a chain."""
+
+    op: str                      # "get" | "put" | "del"
+    key: bytes
+    value: Optional[bytes] = None
+    vnode_id: str = ""
+    ring_version: int = 0
+    hop: int = 0                 # expected chain position of the target
+    tenant: str = "default"
+
+    def wire_bytes(self) -> int:
+        """Bytes this command occupies on the wire."""
+        return (KV_HEADER_BYTES + len(self.key)
+                + (len(self.value) if self.value else 0))
+
+
+@dataclass
+class KVReply:
+    """Response to a KVRequest, with the piggybacked token allocation."""
+
+    status: str
+    value: Optional[bytes] = None
+    #: Tokens the serving partition allocates to this tenant (§3.5).
+    tokens: int = 0
+    served_by: str = ""
+    #: Fresh ring version hint (set on NACK so clients resync faster).
+    ring_version: int = 0
+
+    def wire_bytes(self) -> int:
+        """Bytes this reply occupies on the wire."""
+        return KV_HEADER_BYTES + (len(self.value) if self.value else 0)
+
+
+@dataclass
+class ChainAck:
+    """Backward acknowledgment clearing dirty bits (§3.7)."""
+
+    key: bytes
+    vnode_id: str                # the replica this ack is addressed to
+    chain: List[str] = field(default_factory=list)
+    index: int = 0               # position of vnode_id within chain
+
+    def wire_bytes(self) -> int:
+        return 16 + len(self.key)
+
+
+@dataclass
+class CopyBatch:
+    """A batch of key-value pairs shipped by the COPY primitive (§3.8)."""
+
+    src_vnode: str
+    dst_vnode: str
+    pairs: List[Tuple[bytes, bytes]] = field(default_factory=list)
+    done: bool = False
+
+    def wire_bytes(self) -> int:
+        return 24 + sum(len(k) + len(v) for k, v in self.pairs)
+
+
+@dataclass
+class Heartbeat:
+    """Periodic liveness beacon from a JBOF to the control plane."""
+
+    jbof_address: str
+    sent_at_us: float
+
+    def wire_bytes(self) -> int:
+        return 24
+
+
+@dataclass
+class MembershipUpdate:
+    """Control-plane broadcast of a new ring snapshot."""
+
+    ring_version: int
+    vnodes: List[Tuple[str, str]]        # (vnode_id, jbof_address)
+    states: List[Tuple[str, str]]        # (vnode_id, state)
+    replication: int = 3
+
+    def wire_bytes(self) -> int:
+        return 16 + 48 * len(self.vnodes)

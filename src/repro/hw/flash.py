@@ -1,0 +1,144 @@
+"""Functional flash storage: real bytes, block granularity.
+
+This is the *functional* half of the SSD substitution (see DESIGN.md):
+it stores actual data so that the LEED data store, its compactions,
+and recovery paths can be tested for correctness, independent of the
+timing model in :mod:`repro.hw.ssd`.
+
+The device is block-addressed.  Writes must be whole blocks (the LEED
+bucket is sized to the SSD block for exactly this reason, §3.2.2);
+reads may span multiple blocks.  Erase-block accounting tracks
+program/erase counters so wear behaviour is observable in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class FlashError(Exception):
+    """Raised on out-of-range or misaligned flash access."""
+
+
+class FlashArray:
+    """A block-granular persistent byte store.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total device capacity.  Must be a multiple of ``block_size``.
+    block_size:
+        The write granularity (512 B or 4 KB on real devices).
+    erase_block_blocks:
+        Blocks per erase block, for wear accounting only.
+    """
+
+    def __init__(self, capacity_bytes: int, block_size: int = 4096,
+                 erase_block_blocks: int = 256):
+        if capacity_bytes <= 0 or block_size <= 0:
+            raise ValueError("capacity and block size must be positive")
+        if capacity_bytes % block_size:
+            raise ValueError("capacity %d not a multiple of block size %d"
+                             % (capacity_bytes, block_size))
+        self.capacity_bytes = int(capacity_bytes)
+        self.block_size = int(block_size)
+        self.num_blocks = capacity_bytes // block_size
+        self.erase_block_blocks = int(erase_block_blocks)
+        self._blocks: Dict[int, bytes] = {}
+        # Counters for observability / wear tests.
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self._program_counts: Dict[int, int] = {}
+
+    # -- address helpers ------------------------------------------------------
+
+    def _check_range(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.capacity_bytes:
+            raise FlashError(
+                "access [%d, %d) outside device of %d bytes"
+                % (offset, offset + length, self.capacity_bytes))
+
+    def block_of(self, offset: int) -> int:
+        """Block index containing byte ``offset``."""
+        return offset // self.block_size
+
+    # -- I/O -------------------------------------------------------------------
+
+    def write_block(self, block_index: int, data: bytes) -> None:
+        """Program one block.  Short data is zero-padded to the block."""
+        if not 0 <= block_index < self.num_blocks:
+            raise FlashError("block %d out of range" % block_index)
+        if len(data) > self.block_size:
+            raise FlashError("data of %d bytes exceeds block size %d"
+                             % (len(data), self.block_size))
+        if len(data) < self.block_size:
+            data = bytes(data) + b"\x00" * (self.block_size - len(data))
+        self._blocks[block_index] = bytes(data)
+        self.writes += 1
+        self.bytes_written += self.block_size
+        erase_block = block_index // self.erase_block_blocks
+        self._program_counts[erase_block] = self._program_counts.get(erase_block, 0) + 1
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Program ``data`` starting at a block-aligned ``offset``."""
+        if offset % self.block_size:
+            raise FlashError("write offset %d not block-aligned" % offset)
+        self._check_range(offset, len(data))
+        block = offset // self.block_size
+        view = memoryview(bytes(data))
+        for start in range(0, len(data), self.block_size):
+            self.write_block(block, bytes(view[start:start + self.block_size]))
+            block += 1
+
+    def read_block(self, block_index: int) -> bytes:
+        """Read one whole block (unwritten blocks read as zeros)."""
+        if not 0 <= block_index < self.num_blocks:
+            raise FlashError("block %d out of range" % block_index)
+        self.reads += 1
+        self.bytes_read += self.block_size
+        return self._blocks.get(block_index, b"\x00" * self.block_size)
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Read ``length`` bytes from an arbitrary ``offset``."""
+        self._check_range(offset, length)
+        if length == 0:
+            return b""
+        first = offset // self.block_size
+        last = (offset + length - 1) // self.block_size
+        chunks = []
+        for block in range(first, last + 1):
+            self.reads += 1
+            self.bytes_read += self.block_size
+            chunks.append(self._blocks.get(block, b"\x00" * self.block_size))
+        blob = b"".join(chunks)
+        start = offset - first * self.block_size
+        return blob[start:start + length]
+
+    def trim(self, offset: int, length: int) -> None:
+        """Discard whole blocks in the range (partial blocks are kept)."""
+        self._check_range(offset, length)
+        first = -(-offset // self.block_size)  # ceil: only fully-covered blocks
+        last = (offset + length) // self.block_size
+        for block in range(first, last):
+            self._blocks.pop(block, None)
+
+    # -- observability ----------------------------------------------------------
+
+    @property
+    def blocks_in_use(self) -> int:
+        """Blocks that have been programmed and not trimmed."""
+        return len(self._blocks)
+
+    def max_program_count(self) -> int:
+        """Worst-case per-erase-block program count (wear proxy)."""
+        return max(self._program_counts.values(), default=0)
+
+    def snapshot(self) -> Dict[int, bytes]:
+        """Copy of programmed blocks — used by recovery tests."""
+        return dict(self._blocks)
+
+    def __repr__(self):
+        return "<FlashArray %dB blocks=%d/%d>" % (
+            self.capacity_bytes, len(self._blocks), self.num_blocks)

@@ -1,0 +1,252 @@
+"""NVMe SSD model: functional flash plus a timing/queueing model.
+
+The timing model captures the device properties LEED's design leans
+on (§2.3, §3.2.1):
+
+* fast random reads served by many parallel flash channels;
+* sequential writes that are individually quick (SLC buffer) but
+  bandwidth-limited in aggregate — the read/write bandwidth
+  discrepancy that makes write overload a first-class problem;
+* a bounded submission queue depth, beyond which submissions wait —
+  the signal the intra-JBOF token engine converts into tokens.
+
+Each I/O is processed as::
+
+    wait for a queue-depth slot
+    wait for a free flash channel        (parallelism limit)
+    hold the channel for service time    (base latency + transfer)
+    release; complete
+
+Service times come from a :class:`SSDProfile` and carry lognormal-ish
+jitter via a named RNG stream, reproducing the "varied unpredictably"
+per-IO cost the paper calls out (§3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.hw.flash import FlashArray
+from repro.sim.core import Simulator
+from repro.sim.resources import Resource
+from repro.sim.rng import RngRegistry
+
+
+@dataclass(frozen=True)
+class SSDProfile:
+    """Timing parameters for one SSD model.
+
+    Defaults approximate the Samsung DCT983 960 GB used in the paper:
+    up to ~400 K 4 KB random-read IOPS, ~3 GB/s sequential read,
+    ~1.4 GB/s sequential write, tens-of-µs access latency.
+    """
+
+    name: str = "samsung-dct983-960g"
+    capacity_bytes: int = 960 * 10**9
+    #: LBA format: the DCT983 supports 512e sectors, and LEED sizes
+    #: its buckets to the sector (512 B for small-object workloads,
+    #: §3.2.2), so 512 is the default here.
+    block_size: int = 512
+    #: Parallel flash channels (concurrent in-service I/Os).
+    channels: int = 24
+    #: Hardware queue depth per device.
+    queue_depth: int = 128
+    #: Fixed read latency before data transfer, microseconds.
+    read_base_us: float = 55.0
+    #: Fixed write latency (SLC buffer program), microseconds.
+    write_base_us: float = 26.0
+    #: Sustained read bandwidth, bytes per microsecond (3 GB/s).
+    read_bw_bpus: float = 3000.0
+    #: Sustained write bandwidth, bytes per microsecond (1.4 GB/s).
+    write_bw_bpus: float = 1400.0
+    #: Multiplicative jitter half-width (0.1 -> +/-10%).
+    jitter: float = 0.10
+    #: Active power draw when serving I/O, watts.
+    active_power_w: float = 8.5
+    #: Idle power draw, watts.
+    idle_power_w: float = 1.9
+
+    def read_service_us(self, nbytes: int) -> float:
+        """Mean read service time for ``nbytes``."""
+        return self.read_base_us + nbytes / self.read_bw_bpus
+
+    def write_service_us(self, nbytes: int) -> float:
+        """Mean write service time for ``nbytes``."""
+        return self.write_base_us + nbytes / self.write_bw_bpus
+
+    def peak_read_iops(self, io_bytes: int = 4096) -> float:
+        """Theoretical random-read IOPS ceiling for ``io_bytes`` I/Os."""
+        return self.channels / (self.read_service_us(io_bytes) * 1e-6)
+
+    def peak_write_iops(self, io_bytes: int = 4096) -> float:
+        """Write IOPS ceiling: channel-bound or bandwidth-bound."""
+        channel_bound = self.channels / (self.write_service_us(io_bytes) * 1e-6)
+        bandwidth_bound = (self.write_bw_bpus * 1e6) / io_bytes
+        return min(channel_bound, bandwidth_bound)
+
+
+#: The 32 GB SanDisk SD card of the Raspberry Pi 3B+ testbed
+#: (60-80 MB/s sequential).  Random reads are slow (hundreds of µs of
+#: controller latency); sequential appends ride the write buffer and
+#: are much cheaper per op — the asymmetry FAWN's log-structured
+#: design exploits (Fig. 12: FAWN speeds up as the PUT share grows).
+SDCARD_PROFILE = SSDProfile(
+    name="sandisk-sd-32g",
+    capacity_bytes=32 * 10**9,
+    block_size=4096,
+    channels=1,
+    queue_depth=8,
+    read_base_us=700.0,
+    write_base_us=220.0,
+    read_bw_bpus=80.0,   # 80 MB/s
+    write_bw_bpus=60.0,  # 60 MB/s
+    jitter=0.15,
+    active_power_w=0.4,
+    idle_power_w=0.05,
+)
+
+
+@dataclass
+class SSDStats:
+    """Cumulative per-device statistics."""
+
+    reads_completed: int = 0
+    writes_completed: int = 0
+    read_bytes: int = 0
+    write_bytes: int = 0
+    total_read_latency_us: float = 0.0
+    total_write_latency_us: float = 0.0
+    busy_time_us: float = 0.0
+    queue_wait_us: float = 0.0
+
+    @property
+    def mean_read_latency_us(self) -> float:
+        if not self.reads_completed:
+            return 0.0
+        return self.total_read_latency_us / self.reads_completed
+
+    @property
+    def mean_write_latency_us(self) -> float:
+        if not self.writes_completed:
+            return 0.0
+        return self.total_write_latency_us / self.writes_completed
+
+
+class NVMeSSD:
+    """A simulated NVMe device: timing model over a functional flash array.
+
+    All I/O entry points are generator methods intended to be driven
+    by a simulation process (``data = yield from ssd.read(off, n)``).
+    """
+
+    def __init__(self, sim: Simulator, profile: Optional[SSDProfile] = None,
+                 rng: Optional[RngRegistry] = None, name: str = "nvme0",
+                 capacity_bytes: Optional[int] = None):
+        self.sim = sim
+        self.profile = profile or SSDProfile()
+        if capacity_bytes is not None:
+            self.profile = SSDProfile(**{
+                **self.profile.__dict__, "capacity_bytes": capacity_bytes})
+        self.name = name
+        self.flash = FlashArray(self.profile.capacity_bytes, self.profile.block_size)
+        self._queue_slots = Resource(sim, self.profile.queue_depth, name + ".qd")
+        self._channels = Resource(sim, self.profile.channels, name + ".chan")
+        self._rng = (rng or RngRegistry()).stream("ssd/" + name)
+        self.stats = SSDStats()
+        # Aggregate write-bandwidth pacing: sustained writes cannot exceed
+        # profile.write_bw_bpus even when channels are free.
+        self._write_drain_free_at = 0.0
+
+    # -- properties ----------------------------------------------------------
+
+    @property
+    def block_size(self) -> int:
+        return self.profile.block_size
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.profile.capacity_bytes
+
+    @property
+    def inflight(self) -> int:
+        """I/Os admitted to the device and not yet completed."""
+        return self._queue_slots.in_use
+
+    @property
+    def queue_available(self) -> int:
+        """Free submission-queue slots — the raw token signal (§3.4)."""
+        return self._queue_slots.available
+
+    def _jittered(self, mean_us: float) -> float:
+        j = self.profile.jitter
+        if j <= 0:
+            return mean_us
+        return mean_us * self._rng.uniform(1.0 - j, 1.0 + j)
+
+    # -- I/O generators ----------------------------------------------------------
+
+    def read(self, offset: int, length: int):
+        """Read ``length`` bytes at ``offset``; yields, returns the bytes."""
+        submitted = self.sim.now
+        yield self._queue_slots.acquire()
+        yield self._channels.acquire()
+        admitted = self.sim.now
+        service = self._jittered(self.profile.read_service_us(max(length, 1)))
+        yield self.sim.timeout(service)
+        data = self.flash.read(offset, length)
+        self._channels.release()
+        self._queue_slots.release()
+        completed = self.sim.now
+        self.stats.reads_completed += 1
+        self.stats.read_bytes += length
+        self.stats.total_read_latency_us += completed - submitted
+        self.stats.queue_wait_us += admitted - submitted
+        self.stats.busy_time_us += service
+        return data
+
+    def write(self, offset: int, data: bytes):
+        """Program ``data`` at a block-aligned ``offset``; yields until durable."""
+        submitted = self.sim.now
+        yield self._queue_slots.acquire()
+        yield self._channels.acquire()
+        admitted = self.sim.now
+        service = self._jittered(self.profile.write_service_us(max(len(data), 1)))
+        # Aggregate bandwidth pacing: each write reserves drain time on the
+        # device's shared program path.
+        drain = len(data) / self.profile.write_bw_bpus
+        start = max(self.sim.now, self._write_drain_free_at)
+        self._write_drain_free_at = start + drain
+        extra_wait = start - self.sim.now
+        yield self.sim.timeout(service + extra_wait)
+        self.flash.write(offset, data)
+        self._channels.release()
+        self._queue_slots.release()
+        completed = self.sim.now
+        self.stats.writes_completed += 1
+        self.stats.write_bytes += len(data)
+        self.stats.total_write_latency_us += completed - submitted
+        self.stats.queue_wait_us += admitted - submitted
+        self.stats.busy_time_us += service + extra_wait
+        return len(data)
+
+    def trim(self, offset: int, length: int):
+        """Discard a range; near-free on the device."""
+        yield self.sim.timeout(1.0)
+        self.flash.trim(offset, length)
+
+    # -- energy ---------------------------------------------------------------
+
+    def energy_joules(self, elapsed_us: Optional[float] = None) -> float:
+        """Energy consumed: idle draw over elapsed time + active premium."""
+        if elapsed_us is None:
+            elapsed_us = self.sim.now
+        busy = min(self.stats.busy_time_us / max(self.profile.channels, 1), elapsed_us)
+        active_premium = self.profile.active_power_w - self.profile.idle_power_w
+        return (self.profile.idle_power_w * elapsed_us
+                + active_premium * busy) * 1e-6
+
+    def __repr__(self):
+        return "<NVMeSSD %s inflight=%d reads=%d writes=%d>" % (
+            self.name, self.inflight,
+            self.stats.reads_completed, self.stats.writes_completed)

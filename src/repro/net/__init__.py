@@ -1,0 +1,42 @@
+"""Simulated network: fabric, RDMA verbs, and RPC."""
+
+from repro.net.rdma import MemoryRegion, QueuePair, SendCompletion, WriteCompletion
+from repro.net.rpc import (
+    ENVELOPE_BYTES,
+    OneWay,
+    RpcEndpoint,
+    RpcError,
+    RpcRequest,
+    RpcResponse,
+    RpcTimeout,
+)
+from repro.net.topology import (
+    NIC_1G,
+    NIC_1G_USB,
+    NIC_100G,
+    Network,
+    Nic,
+    NicProfile,
+    SwitchProfile,
+)
+
+__all__ = [
+    "Network",
+    "Nic",
+    "NicProfile",
+    "SwitchProfile",
+    "NIC_100G",
+    "NIC_1G",
+    "NIC_1G_USB",
+    "QueuePair",
+    "MemoryRegion",
+    "SendCompletion",
+    "WriteCompletion",
+    "RpcEndpoint",
+    "RpcError",
+    "RpcTimeout",
+    "RpcRequest",
+    "RpcResponse",
+    "OneWay",
+    "ENVELOPE_BYTES",
+]

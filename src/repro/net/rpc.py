@@ -1,0 +1,254 @@
+"""An RPC layer over the RDMA verbs (§3.5).
+
+Request path: the client posts a two-sided SEND carrying the command
+plus the rkey of a pre-allocated response buffer.  The server's
+dispatcher pops the recv CQ, runs the registered handler (a simulation
+generator — it may perform SSD I/O, forward along a chain, etc.), and
+answers with a one-sided WRITE-with-IMM into the client's response
+buffer, using the request id as the 32-bit immediate so the client
+matches responses without extra messages.
+
+Also provides ``notify`` (one-way, no response) for chain forwarding,
+acknowledgments and heartbeats.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.net.rdma import QueuePair, SendCompletion
+from repro.net.topology import Network
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+
+
+class RpcError(Exception):
+    """Transport- or dispatch-level RPC failure."""
+
+
+class RpcTimeout(RpcError):
+    """A call did not complete within its deadline."""
+
+
+@dataclass
+class RpcRequest:
+    """Wire envelope for a request."""
+
+    request_id: int
+    method: str
+    body: Any
+    nbytes: int
+    reply_to: str
+    rkey: int
+
+
+@dataclass
+class RpcResponse:
+    """Wire envelope for a response."""
+
+    request_id: int
+    body: Any
+    nbytes: int
+
+
+@dataclass
+class OneWay:
+    """Wire envelope for a notification (no response expected)."""
+
+    method: str
+    body: Any
+    nbytes: int
+
+
+#: Fixed envelope overhead added to every request/response body.
+ENVELOPE_BYTES = 32
+
+Handler = Callable[[str, Any], Any]
+
+
+class RpcEndpoint:
+    """A node's RPC runtime: client calls + server handler dispatch."""
+
+    def __init__(self, sim: Simulator, network: Network, address: str):
+        self.sim = sim
+        self.address = address
+        self.qp = QueuePair(sim, network, address)
+        self._handlers: Dict[str, Handler] = {}
+        self._raw_handlers: Dict[str, Handler] = {}
+        self._pending: Dict[int, Event] = {}
+        self._request_ids = itertools.count(1)
+        self._response_region = self.qp.register_region(size=1 << 20)
+        self.calls_sent = 0
+        self.calls_served = 0
+        self.notifications_sent = 0
+        sim.process(self._dispatch_requests(), name="rpc-dispatch@" + address)
+        sim.process(self._dispatch_responses(), name="rpc-responses@" + address)
+
+    # -- server side ---------------------------------------------------------------
+
+    def register_raw(self, method: str, handler) -> None:
+        """Register a handler that manages its own response.
+
+        The handler is invoked as ``handler(src_address, request)``
+        with the full :class:`RpcRequest` envelope and must arrange
+        for *some* endpoint to call :meth:`respond` on it — possibly a
+        different node, after the request was forwarded along a
+        replication chain (§3.7's request shipping).
+        """
+        if method in self._handlers or method in self._raw_handlers:
+            raise ValueError("handler for %r already registered" % method)
+        self._raw_handlers[method] = handler
+
+    def respond(self, request: RpcRequest, body: Any, nbytes: int) -> None:
+        """Answer ``request`` from this endpoint with a one-sided WRITE.
+
+        Works for requests received here directly *and* for envelopes
+        forwarded from other nodes: the reply address and rkey travel
+        with the request.
+        """
+        response = RpcResponse(request.request_id, body, nbytes)
+        self.calls_served += 1
+        self.qp.post_write_imm(request.reply_to, request.rkey, response,
+                               nbytes + ENVELOPE_BYTES,
+                               imm=request.request_id)
+
+    def forward(self, dst: str, request: RpcRequest, body: Any = None,
+                nbytes: Optional[int] = None) -> None:
+        """Re-post a received request envelope to another node.
+
+        The reply address, rkey and request id are preserved, so the
+        eventual responder answers the original caller directly —
+        chain forwarding and CRRS request shipping both use this.
+        """
+        envelope = RpcRequest(request.request_id, request.method,
+                              request.body if body is None else body,
+                              request.nbytes if nbytes is None else nbytes,
+                              request.reply_to, request.rkey)
+        self.qp.post_send(dst, envelope, envelope.nbytes + ENVELOPE_BYTES)
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Register a generator-function handler for ``method``.
+
+        The handler is invoked as ``handler(src_address, body)`` inside
+        a new simulation process; its return value is either
+        ``(response_body, response_nbytes)`` or ``None`` for one-way
+        methods.
+        """
+        if method in self._handlers:
+            raise ValueError("handler for %r already registered" % method)
+        self._handlers[method] = handler
+
+    def unregister(self, method: str) -> None:
+        self._handlers.pop(method, None)
+        self._raw_handlers.pop(method, None)
+
+    def _dispatch_requests(self):
+        while True:
+            completion: SendCompletion = yield self.qp.recv_cq.get()
+            envelope = completion.payload
+            if isinstance(envelope, RpcRequest):
+                raw = self._raw_handlers.get(envelope.method)
+                if raw is not None:
+                    self.sim.process(
+                        self._run_raw(raw, completion.src, envelope),
+                        name="rpc-raw-%s@%s" % (envelope.method, self.address))
+                else:
+                    self.sim.process(
+                        self._serve(completion.src, envelope),
+                        name="rpc-serve-%s@%s" % (envelope.method, self.address))
+            elif isinstance(envelope, OneWay):
+                handler = self._handlers.get(envelope.method)
+                if handler is not None:
+                    self.sim.process(
+                        self._run_oneway(handler, completion.src, envelope.body),
+                        name="rpc-oneway-%s@%s" % (envelope.method, self.address))
+            else:  # pragma: no cover - protocol guard
+                raise RpcError("unexpected envelope %r" % (envelope,))
+
+    def _run_raw(self, handler, src: str, request: RpcRequest):
+        result = handler(src, request)
+        if hasattr(result, "send"):
+            yield from result
+        else:
+            yield self.sim.timeout(0)
+
+    def _run_oneway(self, handler: Handler, src: str, body: Any):
+        result = handler(src, body)
+        if hasattr(result, "send"):
+            yield from result
+        else:
+            yield self.sim.timeout(0)
+
+    def _serve(self, src: str, request: RpcRequest):
+        handler = self._handlers.get(request.method)
+        if handler is None:
+            response_body: Any = RpcError("no handler for %r at %s"
+                                          % (request.method, self.address))
+            response_nbytes = ENVELOPE_BYTES
+        else:
+            result = handler(src, request.body)
+            if hasattr(result, "send"):
+                outcome = yield from result
+            else:
+                outcome = result
+                yield self.sim.timeout(0)
+            if outcome is None:
+                response_body, response_nbytes = None, 0
+            else:
+                response_body, response_nbytes = outcome
+        self.calls_served += 1
+        response = RpcResponse(request.request_id, response_body,
+                               response_nbytes)
+        self.qp.post_write_imm(request.reply_to, request.rkey, response,
+                               response_nbytes + ENVELOPE_BYTES,
+                               imm=request.request_id)
+
+    # -- client side -----------------------------------------------------------------
+
+    def _dispatch_responses(self):
+        while True:
+            completion = yield self.qp.write_cq.get()
+            response: RpcResponse = completion.payload
+            waiter = self._pending.pop(completion.imm, None)
+            if waiter is not None and not waiter.triggered:
+                if isinstance(response.body, RpcError):
+                    waiter.fail(response.body)
+                else:
+                    waiter.succeed(response.body)
+
+    def call(self, dst: str, method: str, body: Any, nbytes: int,
+             timeout_us: Optional[float] = None) -> Event:
+        """Issue a request; returns an event yielding the response body.
+
+        When ``timeout_us`` is given the event fails with
+        :class:`RpcTimeout` if no response arrives in time (needed for
+        failure handling — a partitioned node never answers).
+        """
+        request_id = next(self._request_ids)
+        waiter = self.sim.event()
+        self._pending[request_id] = waiter
+        request = RpcRequest(request_id, method, body,
+                             nbytes, self.address, self._response_region.key)
+        self.calls_sent += 1
+        self.qp.post_send(dst, request, nbytes + ENVELOPE_BYTES)
+        if timeout_us is not None:
+            def expire():
+                pending = self._pending.pop(request_id, None)
+                if pending is not None and not pending.triggered:
+                    pending.fail(RpcTimeout(
+                        "%s->%s %s timed out after %gus"
+                        % (self.address, dst, method, timeout_us)))
+            self.sim.schedule(timeout_us, expire)
+        return waiter
+
+    def notify(self, dst: str, method: str, body: Any, nbytes: int) -> None:
+        """One-way message; fire-and-forget."""
+        self.notifications_sent += 1
+        self.qp.post_send(dst, OneWay(method, body, nbytes),
+                          nbytes + ENVELOPE_BYTES)
+
+    def __repr__(self):
+        return "<RpcEndpoint %s sent=%d served=%d>" % (
+            self.address, self.calls_sent, self.calls_served)

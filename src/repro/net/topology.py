@@ -1,0 +1,168 @@
+"""Network fabric: NICs, links, and a ToR switch.
+
+Models the testbed of §4.1 — hosts on a 100 Gbps Arista ToR switch —
+at the level LEED's mechanisms care about: per-port serialization
+delay (bandwidth), a fixed per-hop latency, and in-order delivery per
+(src, dst) pair.  The embedded FAWN nodes attach via a 1 GbE profile
+with USB2-stack latency.
+
+Messages are opaque payloads with a byte size; the fabric charges
+transmit serialization at the sender port, a switch hop, and receive
+serialization at the receiver port, then enqueues the payload on the
+receiving NIC's rx queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.queues import Store
+
+
+@dataclass(frozen=True)
+class NicProfile:
+    """Timing parameters for one NIC class."""
+
+    name: str = "100gbe-rdma"
+    #: Bandwidth in bytes per microsecond (100 Gb/s = 12 500 B/µs).
+    bandwidth_bpus: float = 12500.0
+    #: One-way fixed latency: NIC processing + cable, microseconds.
+    base_latency_us: float = 1.0
+    #: Maximum transmission unit; larger messages are segmented.
+    mtu_bytes: int = 4096
+
+
+#: Profiles for the three testbed NICs.
+NIC_100G = NicProfile("100gbe-rdma", bandwidth_bpus=12500.0, base_latency_us=1.0)
+NIC_1G_USB = NicProfile("1gbe-usb2", bandwidth_bpus=37.5, base_latency_us=40.0,
+                        mtu_bytes=1500)
+NIC_1G = NicProfile("1gbe", bandwidth_bpus=125.0, base_latency_us=15.0,
+                    mtu_bytes=1500)
+
+
+@dataclass(frozen=True)
+class SwitchProfile:
+    """A cut-through ToR switch."""
+
+    name: str = "arista-7160"
+    hop_latency_us: float = 0.5
+
+
+class Nic:
+    """One network port: paced transmit, FIFO receive queue."""
+
+    def __init__(self, sim: Simulator, address: str,
+                 profile: Optional[NicProfile] = None):
+        self.sim = sim
+        self.address = address
+        self.profile = profile or NIC_100G
+        self.rx_queue: Store = Store(sim, name="rx@" + address)
+        self._tx_free_at = 0.0
+        self._rx_free_at = 0.0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.tx_messages = 0
+        self.rx_messages = 0
+
+    def serialize_tx(self, nbytes: int) -> float:
+        """Reserve transmit time for ``nbytes``; returns completion time."""
+        duration = nbytes / self.profile.bandwidth_bpus
+        start = max(self.sim.now, self._tx_free_at)
+        self._tx_free_at = start + duration
+        self.tx_bytes += nbytes
+        self.tx_messages += 1
+        return self._tx_free_at
+
+    def serialize_rx(self, nbytes: int, earliest: float) -> float:
+        """Reserve receive time for ``nbytes`` arriving at ``earliest``."""
+        duration = nbytes / self.profile.bandwidth_bpus
+        start = max(earliest, self._rx_free_at)
+        self._rx_free_at = start + duration
+        self.rx_bytes += nbytes
+        self.rx_messages += 1
+        return self._rx_free_at
+
+    def __repr__(self):
+        return "<Nic %s %s tx=%d rx=%d>" % (
+            self.address, self.profile.name, self.tx_messages, self.rx_messages)
+
+
+class Network:
+    """A single-switch fabric connecting named NICs."""
+
+    def __init__(self, sim: Simulator, switch: Optional[SwitchProfile] = None):
+        self.sim = sim
+        self.switch = switch or SwitchProfile()
+        self._nics: Dict[str, Nic] = {}
+        self.messages_delivered = 0
+        #: When set, drops all traffic to/from these addresses (failure tests).
+        self._partitioned: set = set()
+
+    def attach(self, address: str, profile: Optional[NicProfile] = None) -> Nic:
+        """Create and register a NIC under ``address``."""
+        if address in self._nics:
+            raise ValueError("address %r already attached" % address)
+        nic = Nic(self.sim, address, profile)
+        self._nics[address] = nic
+        return nic
+
+    def nic(self, address: str) -> Nic:
+        return self._nics[address]
+
+    def addresses(self):
+        return list(self._nics)
+
+    # -- failure injection -------------------------------------------------------
+
+    def partition(self, address: str) -> None:
+        """Silently drop all traffic involving ``address``."""
+        self._partitioned.add(address)
+
+    def heal(self, address: str) -> None:
+        self._partitioned.discard(address)
+
+    def is_partitioned(self, address: str) -> bool:
+        return address in self._partitioned
+
+    # -- transmission --------------------------------------------------------------
+
+    def transmit(self, src: str, dst: str, nbytes: int, payload: Any) -> None:
+        """Send ``payload`` of ``nbytes`` from ``src`` to ``dst``.
+
+        Fire-and-forget: the payload appears on the destination NIC's
+        rx queue after serialization + switch + propagation delays.
+        Delivery is in order per (src, dst) because both port pacers
+        are FIFO.
+        """
+        if src not in self._nics or dst not in self._nics:
+            raise KeyError("unknown endpoint in %r -> %r" % (src, dst))
+        if src in self._partitioned or dst in self._partitioned:
+            return  # dropped silently, like a dead cable
+        sender = self._nics[src]
+        receiver = self._nics[dst]
+        tx_done = sender.serialize_tx(max(nbytes, 1))
+        arrival = (tx_done + sender.profile.base_latency_us
+                   + self.switch.hop_latency_us)
+        rx_done = receiver.serialize_rx(max(nbytes, 1), arrival)
+        delay = rx_done - self.sim.now
+
+        def deliver():
+            # Re-check partitions at delivery time: a node that died
+            # mid-flight does not receive the message.
+            if src in self._partitioned or dst in self._partitioned:
+                return
+            receiver.rx_queue.try_put(payload)
+            self.messages_delivered += 1
+
+        self.sim.schedule(delay, deliver)
+
+    def one_way_latency_us(self, src: str, dst: str, nbytes: int) -> float:
+        """Unloaded delivery latency estimate for sizing timeouts."""
+        sender = self._nics[src]
+        receiver = self._nics[dst]
+        return (nbytes / sender.profile.bandwidth_bpus
+                + sender.profile.base_latency_us
+                + self.switch.hop_latency_us
+                + nbytes / receiver.profile.bandwidth_bpus)

@@ -1,0 +1,5 @@
+"""Power metering and energy-efficiency accounting."""
+
+from repro.power.meter import EnergyReport, PowerMeter, PowerSample, cluster_energy
+
+__all__ = ["PowerMeter", "PowerSample", "EnergyReport", "cluster_energy"]

@@ -1,0 +1,172 @@
+"""The discrete-event simulator.
+
+The simulator maintains a heap of (time, priority, sequence, event)
+entries and advances simulated time by popping the earliest entry and
+running its callbacks.  Time is a float; throughout this project the
+unit is **microseconds**, matching the scale at which NVMe and RDMA
+operations complete.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.errors import StopSimulation
+from repro.sim.events import Event, Timeout, all_of, any_of
+from repro.sim.process import Process
+
+#: Default priority for scheduled events.  Interrupts use 0 (urgent).
+NORMAL_PRIORITY = 1
+
+
+class Simulator:
+    """A discrete-event simulation kernel.
+
+    Usage::
+
+        sim = Simulator()
+
+        def worker(sim):
+            yield sim.timeout(5)
+            return "done"
+
+        proc = sim.process(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: list = []
+        self._sequence = 0
+        self._active_process: Optional[Process] = None
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (microseconds by project convention)."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still on the schedule heap."""
+        return len(self._heap)
+
+    # -- event construction ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create an untriggered event bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events):
+        """Composite event firing once all ``events`` fire."""
+        return all_of(self, events)
+
+    def any_of(self, events):
+        """Composite event firing once any of ``events`` fires."""
+        return any_of(self, events)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run a plain callable ``delay`` time units from now."""
+        event = self.timeout(delay)
+        event.callbacks.append(lambda _evt: callback())
+        return event
+
+    # -- engine ---------------------------------------------------------------
+
+    def _schedule_event(self, event: Event, delay: float = 0.0,
+                        priority: int = NORMAL_PRIORITY) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf when idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event.  Raises IndexError when empty."""
+        when, _priority, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - heap invariant guard
+            raise RuntimeError("time went backwards: %r < %r" % (when, self._now))
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until simulated time reaches it;
+        * an :class:`Event` — run until that event triggers, returning
+          its value (re-raising its exception when it failed).
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            deadline = float("inf")
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(self._stop_on_event)
+            elif stop_event.triggered:
+                return self._event_outcome(stop_event)
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError("cannot run until %r, now is %r" % (deadline, self._now))
+
+        try:
+            while self._heap:
+                if self.peek() > deadline:
+                    self._now = deadline
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            if stop_event is not None and stop_event.triggered:
+                return self._event_outcome(stop_event)
+            return stop.value
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                "run() until an event, but the simulation ran out of events "
+                "before %r triggered" % stop_event
+            )
+        if stop_event is not None:
+            return self._event_outcome(stop_event)
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
+    @staticmethod
+    def _event_outcome(event: Event) -> Any:
+        if event._ok:
+            return event._value
+        event._defused = True
+        raise event._value
+
+    def _stop_on_event(self, event: Event) -> None:
+        if not event._ok:
+            event._defused = True
+        raise StopSimulation(event._value if event._ok else None)
+
+    def __repr__(self):
+        return "<Simulator t=%.3f pending=%d>" % (self._now, len(self._heap))

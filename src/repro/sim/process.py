@@ -1,0 +1,126 @@
+"""Generator-driven simulation processes.
+
+A process wraps a Python generator.  The generator yields
+:class:`~repro.sim.events.Event` instances; each yield suspends the
+process until the yielded event triggers, at which point the event's
+value is sent back into the generator (or its exception thrown in).
+
+This mirrors the execution model of the SPDK reactor that LEED is
+built on: a handler runs to completion between explicit yield points,
+so there is no preemption inside a code block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.errors import Interrupt
+from repro.sim.events import Event
+
+
+class Process(Event):
+    """A running process.  Also an event that fires when it finishes.
+
+    The process event succeeds with the generator's return value, or
+    fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("generator", "name", "_target", "_interrupts")
+
+    def __init__(self, sim, generator: Generator, name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError("Process requires a generator, got %r" % (generator,))
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None while running).
+        self._target: Optional[Event] = None
+        self._interrupts: list = []
+        # Kick off the process via an immediately-scheduled initialization
+        # event so creation order does not matter within a timestep.
+        init = Event(sim)
+        init.callbacks.append(self._resume)
+        init._ok = True
+        init._value = None
+        sim._schedule_event(init)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Interrupting a finished process is an error; interrupting a
+        process from itself is also an error.
+        """
+        if self.triggered:
+            raise RuntimeError("cannot interrupt finished process %r" % self)
+        if self.sim.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        interrupt_event = Event(self.sim)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.sim._schedule_event(interrupt_event, priority=0)
+
+    # -- engine plumbing ----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        if self.triggered:
+            return
+        # Detach from the event we were waiting on (relevant for interrupts,
+        # where the original target is still pending).
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        self.sim._active_process = self
+        try:
+            if event._ok:
+                next_event = self.generator.send(event._value)
+            else:
+                # The event failed; throw its exception into the generator.
+                event._defused = True
+                next_event = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self.succeed(getattr(stop, "value", None))
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._ok = False
+            self._value = exc
+            self.sim._schedule_event(self)
+            return
+        self.sim._active_process = None
+
+        if not isinstance(next_event, Event):
+            raise TypeError(
+                "process %r yielded %r, expected an Event" % (self.name, next_event)
+            )
+        if next_event.sim is not self.sim:
+            raise ValueError("process yielded an event from another simulator")
+        if next_event.callbacks is None:
+            # Already processed -> resume immediately at the current time.
+            immediate = Event(self.sim)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            if not next_event._ok:
+                next_event._defused = True
+                immediate._defused = True
+            immediate.callbacks.append(self._resume)
+            self.sim._schedule_event(immediate)
+            self._target = immediate
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+    def __repr__(self):
+        return "<Process %s %s>" % (self.name, "done" if self.triggered else "alive")

@@ -1,0 +1,208 @@
+"""Cluster telemetry: one-call snapshots of every component's stats.
+
+Gathers the counters that the nodes, engines, stores, devices, and
+clients already maintain into a structured snapshot plus a rendered
+text report — the observability layer an operator of the real system
+would read on a dashboard.
+
+Usage::
+
+    from repro.telemetry import snapshot, render
+    print(render(snapshot(cluster)))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class DeviceSnapshot:
+    name: str
+    reads: int
+    writes: int
+    read_mb: float
+    write_mb: float
+    mean_read_us: float
+    mean_write_us: float
+    busy_fraction: float
+
+
+@dataclass
+class VNodeSnapshot:
+    vnode_id: str
+    state: str
+    live_objects: int
+    key_log_fill: float
+    value_log_fill: float
+    engine_tokens: int
+    waiting: int
+    completed: int
+    rejected: int
+    reads_served: int
+    reads_shipped: int
+    writes_forwarded: int
+    writes_committed: int
+    nacks: int
+    dirty_keys: int
+
+
+@dataclass
+class NodeSnapshot:
+    address: str
+    alive: bool
+    mean_core_utilization: float
+    watts_now: float
+    energy_joules: float
+    swap_redirects: int
+    requests_completed: int
+    devices: List[DeviceSnapshot] = field(default_factory=list)
+    vnodes: List[VNodeSnapshot] = field(default_factory=list)
+
+
+@dataclass
+class ClientSnapshot:
+    address: str
+    operations: int
+    ok: int
+    not_found: int
+    failures: int
+    retries: int
+    nacks: int
+    timeouts: int
+    mean_latency_us: float
+    p99_latency_us: float
+
+
+@dataclass
+class ClusterSnapshot:
+    time_us: float
+    ring_version: int
+    total_energy_joules: float
+    nodes: List[NodeSnapshot] = field(default_factory=list)
+    clients: List[ClientSnapshot] = field(default_factory=list)
+
+
+def snapshot(cluster) -> ClusterSnapshot:
+    """Collect a :class:`ClusterSnapshot` from a LeedCluster."""
+    sim = cluster.sim
+    snap = ClusterSnapshot(
+        time_us=sim.now,
+        ring_version=cluster.control_plane.ring_version,
+        total_energy_joules=cluster.energy_joules())
+    for node in cluster.jbofs:
+        node_snap = NodeSnapshot(
+            address=node.address,
+            alive=node.alive,
+            mean_core_utilization=node.cpu.mean_utilization(),
+            watts_now=node.meter.sample().watts,
+            energy_joules=node.meter.energy_joules(),
+            swap_redirects=node.swap_redirects,
+            requests_completed=node.requests_completed)
+        for ssd in node.ssds:
+            stats = ssd.stats
+            elapsed = max(sim.now, 1e-9)
+            node_snap.devices.append(DeviceSnapshot(
+                name=ssd.name,
+                reads=stats.reads_completed,
+                writes=stats.writes_completed,
+                read_mb=stats.read_bytes / 1e6,
+                write_mb=stats.write_bytes / 1e6,
+                mean_read_us=stats.mean_read_latency_us,
+                mean_write_us=stats.mean_write_latency_us,
+                busy_fraction=min(
+                    stats.busy_time_us
+                    / max(ssd.profile.channels, 1) / elapsed, 1.0)))
+        for vnode_id, runtime in sorted(node.vnodes.items()):
+            store = runtime.store
+            key_fill = getattr(getattr(store, "key_log", None),
+                               "fill_fraction", lambda: 0.0)()
+            value_fill = getattr(getattr(store, "value_log", None),
+                                 "fill_fraction", lambda: 0.0)()
+            if hasattr(store, "log"):  # FAWN single-log store
+                key_fill = store.log.fill_fraction()
+            node_snap.vnodes.append(VNodeSnapshot(
+                vnode_id=vnode_id,
+                state=runtime.state,
+                live_objects=getattr(store, "live_objects", 0),
+                key_log_fill=key_fill,
+                value_log_fill=value_fill,
+                engine_tokens=runtime.engine.tokens,
+                waiting=runtime.engine.waiting_occupancy,
+                completed=runtime.engine.stats.completed,
+                rejected=runtime.engine.stats.rejected,
+                reads_served=runtime.stats.reads_served,
+                reads_shipped=runtime.stats.reads_shipped,
+                writes_forwarded=runtime.stats.writes_forwarded,
+                writes_committed=runtime.stats.writes_committed,
+                nacks=runtime.stats.nacks,
+                dirty_keys=len(runtime.dirty)))
+        snap.nodes.append(node_snap)
+    for client in cluster.clients:
+        stats = client.stats
+        snap.clients.append(ClientSnapshot(
+            address=client.address,
+            operations=stats.operations,
+            ok=stats.ok,
+            not_found=stats.not_found,
+            failures=stats.failures,
+            retries=stats.retries,
+            nacks=stats.nacks,
+            timeouts=stats.timeouts,
+            mean_latency_us=stats.mean_latency_us(),
+            p99_latency_us=stats.percentile_latency_us(0.99)))
+    return snap
+
+
+def render(snap: ClusterSnapshot) -> str:
+    """Render a snapshot as a fixed-width text report."""
+    lines = []
+    lines.append("cluster @ t=%.1f ms  ring v%d  energy %.2f J"
+                 % (snap.time_us / 1e3, snap.ring_version,
+                    snap.total_energy_joules))
+    for node in snap.nodes:
+        lines.append("")
+        lines.append("%s  %s  cores %.0f%%  %.1f W  %.2f J  "
+                     "swaps %d  served %d"
+                     % (node.address,
+                        "up" if node.alive else "DOWN",
+                        100 * node.mean_core_utilization,
+                        node.watts_now, node.energy_joules,
+                        node.swap_redirects, node.requests_completed))
+        for device in node.devices:
+            lines.append("  %-16s rd %6d (%7.2f MB, %5.1f us)  "
+                         "wr %6d (%7.2f MB, %5.1f us)  busy %4.1f%%"
+                         % (device.name, device.reads, device.read_mb,
+                            device.mean_read_us, device.writes,
+                            device.write_mb, device.mean_write_us,
+                            100 * device.busy_fraction))
+        for vnode in node.vnodes:
+            lines.append("  %-16s %-8s live %5d  klog %3.0f%% vlog %3.0f%%  "
+                         "tok %3d wait %2d  done %6d rej %3d"
+                         % (vnode.vnode_id.split("/")[-1], vnode.state,
+                            vnode.live_objects,
+                            100 * vnode.key_log_fill,
+                            100 * vnode.value_log_fill,
+                            vnode.engine_tokens, vnode.waiting,
+                            vnode.completed, vnode.rejected))
+            if (vnode.reads_shipped or vnode.nacks or vnode.dirty_keys
+                    or vnode.writes_committed):
+                lines.append("  %-16s reads %d (shipped %d)  writes fwd %d "
+                             "commit %d  nacks %d  dirty %d"
+                             % ("", vnode.reads_served,
+                                vnode.reads_shipped,
+                                vnode.writes_forwarded,
+                                vnode.writes_committed, vnode.nacks,
+                                vnode.dirty_keys))
+    if snap.clients:
+        lines.append("")
+        for client in snap.clients:
+            lines.append("%-10s ops %6d (ok %d / nf %d / fail %d)  "
+                         "retry %d nack %d timeout %d  "
+                         "lat %.0f us p99 %.0f us"
+                         % (client.address, client.operations, client.ok,
+                            client.not_found, client.failures,
+                            client.retries, client.nacks, client.timeouts,
+                            client.mean_latency_us, client.p99_latency_us))
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Workload trace recording and replay.
+
+A *trace* is a recorded sequence of operations (op, key, value) that
+can be saved, inspected, and replayed deterministically — the tool
+for regression-testing a performance fix against the exact request
+sequence that exposed it, or for feeding the same operations to two
+systems (the harness's A/B runs do this implicitly through shared
+seeds; traces make it explicit and portable).
+
+Format (text, one line per op)::
+
+    put <hex-key> <hex-value>
+    get <hex-key>
+    del <hex-key>
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, TextIO
+
+from repro.workloads.ycsb import Operation, YCSBWorkload
+
+
+@dataclass
+class Trace:
+    """An ordered, replayable operation sequence."""
+
+    operations: List[Operation] = field(default_factory=list)
+
+    def append(self, operation: Operation) -> None:
+        self.operations.append(operation)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[Operation]:
+        return iter(self.operations)
+
+    # -- capture ---------------------------------------------------------------
+
+    @classmethod
+    def record(cls, workload: YCSBWorkload, count: int) -> "Trace":
+        """Materialize ``count`` operations from a workload."""
+        trace = cls()
+        for operation in workload.operations(count):
+            trace.append(operation)
+        return trace
+
+    # -- persistence --------------------------------------------------------------
+
+    def dump(self, stream: TextIO) -> None:
+        """Write the text format to ``stream``."""
+        for operation in self.operations:
+            if operation.op == "get":
+                stream.write("get %s\n" % operation.key.hex())
+            elif operation.op == "del":
+                stream.write("del %s\n" % operation.key.hex())
+            else:  # put / rmw carry a value
+                stream.write("%s %s %s\n" % (operation.op,
+                                             operation.key.hex(),
+                                             (operation.value or b"").hex()))
+
+    @classmethod
+    def load(cls, stream: TextIO) -> "Trace":
+        """Parse the text format from ``stream``."""
+        trace = cls()
+        for line_number, line in enumerate(stream, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            op = parts[0]
+            if op == "get" and len(parts) == 2:
+                trace.append(Operation("get", bytes.fromhex(parts[1])))
+            elif op == "del" and len(parts) == 2:
+                trace.append(Operation("del", bytes.fromhex(parts[1])))
+            elif op in ("put", "rmw") and len(parts) == 3:
+                trace.append(Operation(op, bytes.fromhex(parts[1]),
+                                       bytes.fromhex(parts[2])))
+            else:
+                raise ValueError("trace line %d malformed: %r"
+                                 % (line_number, line))
+        return trace
+
+    # -- replay -----------------------------------------------------------------------
+
+    def replay(self, sim, client, concurrency: int = 1):
+        """Generator: run the trace against a client; returns stats.
+
+        With ``concurrency == 1`` the trace is replayed strictly in
+        order (required to reproduce a dependent sequence); higher
+        concurrency fans independent operations out like a driver.
+        """
+        from repro.workloads.driver import DriverStats, _execute_operation
+        stats = DriverStats()
+        stats.started_at_us = sim.now
+        if concurrency <= 1:
+            for operation in self.operations:
+                begin = sim.now
+                result = yield from _execute_operation(client, operation)
+                status = getattr(result, "status", "ok")
+                stats.record(sim.now, sim.now - begin,
+                             status in ("ok", "not_found"))
+        else:
+            cursor = [0]
+
+            def worker():
+                while cursor[0] < len(self.operations):
+                    operation = self.operations[cursor[0]]
+                    cursor[0] += 1
+                    begin = sim.now
+                    result = yield from _execute_operation(client, operation)
+                    status = getattr(result, "status", "ok")
+                    stats.record(sim.now, sim.now - begin,
+                                 status in ("ok", "not_found"))
+
+            workers = [sim.process(worker(), name="trace.worker")
+                       for _ in range(concurrency)]
+            yield sim.all_of(workers)
+        stats.finished_at_us = sim.now
+        return stats
+
+    # -- inspection ---------------------------------------------------------------------
+
+    def mix(self) -> dict:
+        """Operation-type histogram."""
+        histogram: dict = {}
+        for operation in self.operations:
+            histogram[operation.op] = histogram.get(operation.op, 0) + 1
+        return histogram
+
+    def keys(self) -> set:
+        return {operation.key for operation in self.operations}

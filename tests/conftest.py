@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> RngRegistry:
+    return RngRegistry(1234)
+
+
+@pytest.fixture
+def small_ssd(sim, rng) -> NVMeSSD:
+    """A 32 MB, 512 B-sector device for fast functional tests."""
+    profile = SSDProfile(capacity_bytes=32 << 20, block_size=512)
+    return NVMeSSD(sim, profile, rng=rng, name="test-nvme")
+
+
+@pytest.fixture
+def quiet_ssd(sim, rng) -> NVMeSSD:
+    """Like small_ssd but jitter-free, for exact timing assertions."""
+    profile = SSDProfile(capacity_bytes=32 << 20, block_size=512,
+                         jitter=0.0)
+    return NVMeSSD(sim, profile, rng=rng, name="quiet-nvme")
+
+
+def drive(sim: Simulator, generator, name="test"):
+    """Run a generator process to completion; return its value."""
+    process = sim.process(generator, name=name)
+    return sim.run(until=process)

@@ -1,0 +1,230 @@
+"""Tests for the LSM-tree baseline: bloom, sstable, datastore."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lsm.bloom import BloomFilter
+from repro.baselines.lsm.datastore import LsmConfig, LsmDataStore
+from repro.baselines.lsm.sstable import DELETED, write_sstable
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.rng import RngRegistry
+
+from conftest import drive
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(100)
+        keys = [b"key-%03d" % i for i in range(100)]
+        for key in keys:
+            bloom.add(key)
+        assert all(bloom.might_contain(key) for key in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bloom = BloomFilter(500, bits_per_key=10)
+        for index in range(500):
+            bloom.add(b"member-%04d" % index)
+        false_positives = sum(
+            1 for index in range(5000)
+            if bloom.might_contain(b"stranger-%05d" % index))
+        # ~1% theoretical at 10 bits/key; allow generous slack.
+        assert false_positives / 5000 < 0.05
+
+    def test_empty_contains_nothing(self):
+        bloom = BloomFilter(10)
+        assert not bloom.might_contain(b"anything")
+        assert bloom.fill_ratio() == 0.0
+
+    def test_parameters_validated(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0)
+        with pytest.raises(ValueError):
+            BloomFilter(10, bits_per_key=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(keys=st.sets(st.binary(min_size=1, max_size=24), min_size=1,
+                        max_size=100))
+    def test_membership_property(self, keys):
+        bloom = BloomFilter(len(keys))
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+
+class TestSSTable:
+    def build(self, sim, records):
+        ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=16 << 20,
+                                      block_size=512, jitter=0.0),
+                      rng=RngRegistry(6))
+
+        def proc():
+            return (yield from write_sstable(ssd, 0, 512, records))
+
+        return drive(sim, proc())
+
+    def test_point_lookups(self, sim):
+        records = [(b"k%03d" % i, b"v%03d" % i) for i in range(200)]
+        table = self.build(sim, records)
+
+        def proc():
+            hits = []
+            for index in (0, 57, 123, 199):
+                value = yield from table.get(b"k%03d" % index)
+                hits.append(value)
+            missing = yield from table.get(b"k999")
+            return hits, missing
+
+        hits, missing = drive(sim, proc())
+        assert hits == [b"v000", b"v057", b"v123", b"v199"]
+        assert missing is None
+
+    def test_tombstones_visible(self, sim):
+        records = [(b"a", b"1"), (b"b", None), (b"c", b"3")]
+        table = self.build(sim, records)
+
+        def proc():
+            return (yield from table.get(b"b"))
+
+        assert drive(sim, proc()) is DELETED
+
+    def test_scan_all_roundtrip(self, sim):
+        records = [(b"k%02d" % i, b"value-%02d" % i) for i in range(50)]
+        table = self.build(sim, records)
+
+        def proc():
+            return (yield from table.scan_all())
+
+        assert drive(sim, proc()) == records
+
+    def test_out_of_range_needs_no_io(self, sim):
+        records = [(b"m%02d" % i, b"v") for i in range(10)]
+        table = self.build(sim, records)
+        reads_before = table.ssd.stats.reads_completed
+
+        def proc():
+            low = yield from table.get(b"a")
+            high = yield from table.get(b"z")
+            return low, high
+
+        low, high = drive(sim, proc())
+        assert low is None and high is None
+        assert table.ssd.stats.reads_completed == reads_before
+
+    def test_empty_input_returns_none(self, sim):
+        assert self.build(sim, []) is None
+
+
+def make_store(sim, **overrides):
+    config_kwargs = dict(region_bytes=48 << 20, memtable_bytes=2 << 10,
+                         l0_limit=3, l1_bytes=16 << 10)
+    config_kwargs.update(overrides)
+    ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=64 << 20, block_size=512,
+                                  jitter=0.0), rng=RngRegistry(8))
+    return LsmDataStore(sim, ssd, LsmConfig(**config_kwargs))
+
+
+class TestLsmStore:
+    def test_put_get_through_flush(self, sim):
+        store = make_store(sim)
+
+        def proc():
+            for index in range(300):
+                result = yield from store.put(b"key-%04d" % index,
+                                              b"value-%04d" % index)
+                assert result.ok
+            assert store.stats.flushes > 0
+            for index in range(0, 300, 17):
+                got = yield from store.get(b"key-%04d" % index)
+                assert got.ok and got.value == b"value-%04d" % index
+
+        drive(sim, proc())
+
+    def test_overwrite_latest_wins_across_levels(self, sim):
+        store = make_store(sim)
+
+        def proc():
+            for round_index in range(4):
+                for index in range(60):
+                    yield from store.put(b"k%02d" % index,
+                                         b"round-%d" % round_index)
+            got = yield from store.get(b"k30")
+            return got
+
+        assert drive(sim, proc()).value == b"round-3"
+
+    def test_delete_shadows_older_levels(self, sim):
+        store = make_store(sim)
+
+        def proc():
+            for index in range(150):
+                yield from store.put(b"k%03d" % index, b"v")
+            yield from store.delete(b"k010")
+            # Push the tombstone through a flush.
+            for index in range(150, 300):
+                yield from store.put(b"k%03d" % index, b"v")
+            got = yield from store.get(b"k010")
+            return got.status
+
+        assert drive(sim, proc()) == "not_found"
+
+    def test_compaction_triggers_and_preserves(self, sim):
+        store = make_store(sim)
+
+        def proc():
+            for round_index in range(10):
+                for index in range(80):
+                    yield from store.put(b"k%02d" % (index % 90),
+                                         b"r%d-%02d" % (round_index, index))
+            assert store.stats.compactions > 0
+            pairs = dict((yield from store.scan()))
+            return pairs
+
+        pairs = drive(sim, proc())
+        assert pairs  # data survived the merge cascade
+
+    def test_write_amplification_tracked(self, sim):
+        store = make_store(sim)
+
+        def proc():
+            for index in range(250):
+                yield from store.put(b"key-%04d" % index, b"x" * 64)
+            return store.stats.write_amplification()
+
+        amplification = drive(sim, proc())
+        assert amplification > 1.0  # WAL + flush + merges
+
+    def test_bloom_filters_skip_tables(self, sim):
+        store = make_store(sim)
+
+        def proc():
+            for index in range(400):
+                yield from store.put(b"key-%04d" % index, b"v" * 32)
+            for index in range(50):
+                yield from store.get(b"absent-%04d" % index)
+            return store.stats.bloom_skips
+
+        assert drive(sim, proc()) > 0
+
+    def test_scan_matches_shadow(self, sim):
+        store = make_store(sim)
+        rng = random.Random(5)
+
+        def proc():
+            shadow = {}
+            for step in range(500):
+                key = b"k%02d" % rng.randrange(60)
+                if rng.random() < 0.7:
+                    value = b"v%04d" % step
+                    yield from store.put(key, value)
+                    shadow[key] = value
+                else:
+                    yield from store.delete(key)
+                    shadow.pop(key, None)
+            pairs = dict((yield from store.scan()))
+            return pairs, shadow
+
+        pairs, shadow = drive(sim, proc())
+        assert pairs == shadow

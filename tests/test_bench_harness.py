@@ -1,0 +1,99 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentResult,
+    build_cluster,
+    build_single_store,
+    drive_store,
+    load_cluster,
+    preload_store,
+    run_closed_loop,
+    scale_profile,
+)
+from repro.workloads.ycsb import YCSBWorkload
+
+
+class TestExperimentResult:
+    def test_add_and_column(self):
+        result = ExperimentResult("t", ["a", "b"])
+        result.add(a=1, b="x")
+        result.add(a=2, b="y")
+        assert result.column("a") == [1, 2]
+
+    def test_row_for(self):
+        result = ExperimentResult("t", ["a", "b"])
+        result.add(a=1, b="x")
+        result.add(a=2, b="y")
+        assert result.row_for(a=2)["b"] == "y"
+        assert result.row_for(a=99) is None
+
+    def test_format_renders_table(self):
+        result = ExperimentResult("My Table", ["col"])
+        result.add(col=3.14159)
+        text = result.format()
+        assert "My Table" in text
+        assert "col" in text
+        assert "3.14" in text
+
+    def test_format_empty(self):
+        result = ExperimentResult("Empty", ["x"])
+        assert "Empty" in result.format()
+
+
+class TestScaleProfiles:
+    def test_quick_smaller_than_full(self):
+        quick = scale_profile("quick")
+        full = scale_profile("full")
+        assert quick.num_records < full.num_records
+        assert quick.num_ops < full.num_ops
+
+
+class TestSingleStoreHarness:
+    @pytest.mark.parametrize("system", ["leed", "fawn", "kvell"])
+    def test_build_preload_drive(self, system):
+        single = build_single_store(system, value_size=128,
+                                    capacity_bytes=32 << 20)
+        preload_store(single, 50, 128)
+        workload = YCSBWorkload("B", 50, value_size=128,
+                                distribution="uniform", seed=1)
+        stats = drive_store(single, workload, 100, concurrency=4)
+        assert stats.completed >= 100
+        assert stats.throughput_qps > 0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            build_single_store("rocksdb")
+
+    def test_pi_platform_slower(self):
+        fast = build_single_store("fawn", platform="stingray",
+                                  block_size=4096)
+        slow = build_single_store("fawn", platform="pi", block_size=4096)
+        preload_store(fast, 20, 128)
+        preload_store(slow, 20, 128)
+        workload = YCSBWorkload("C", 20, value_size=128,
+                                distribution="uniform", seed=2)
+        fast_stats = drive_store(fast, workload, 40, concurrency=1)
+        workload2 = YCSBWorkload("C", 20, value_size=128,
+                                 distribution="uniform", seed=2)
+        slow_stats = drive_store(slow, workload2, 40, concurrency=1)
+        assert slow_stats.mean_latency_us() > 3 * fast_stats.mean_latency_us()
+
+
+class TestClusterHarness:
+    def test_build_and_run_leed(self):
+        workload = YCSBWorkload("B", 60, value_size=128, seed=3)
+        cluster = build_cluster("leed", num_clients=1, seed=3)
+        load_cluster(cluster, workload)
+        stats = run_closed_loop(cluster, workload, 120, concurrency=8)
+        assert stats.completed >= 120
+        assert stats.failed == 0
+
+    def test_ablation_toggles_apply(self):
+        cluster = build_cluster("leed", flow_control=False, crrs=False,
+                                num_clients=1)
+        client = cluster.clients[0]
+        assert not client.flow.enabled
+        assert not client.crrs
+        assert client.read_policy == "tail"

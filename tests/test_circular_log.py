@@ -1,0 +1,216 @@
+"""Tests for the circular log data structure (§3.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.circular_log import CircularLog, LogFullError, LogRangeError
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+
+from conftest import drive
+
+
+@pytest.fixture
+def log(sim, quiet_ssd):
+    return CircularLog(quiet_ssd, region_offset=0, size=16 << 10, name="t")
+
+
+class TestGeometry:
+    def test_initially_empty(self, log):
+        assert log.used_bytes == 0
+        assert log.free_bytes == log.size
+        assert log.fill_fraction() == 0.0
+
+    def test_alignment_enforced(self, sim, quiet_ssd):
+        with pytest.raises(ValueError):
+            CircularLog(quiet_ssd, region_offset=100, size=1024)
+        with pytest.raises(ValueError):
+            CircularLog(quiet_ssd, region_offset=0, size=1000)
+
+    def test_region_must_fit_device(self, sim, quiet_ssd):
+        with pytest.raises(ValueError):
+            CircularLog(quiet_ssd, region_offset=0,
+                        size=quiet_ssd.capacity_bytes + 512)
+
+
+class TestAppendRead:
+    def test_block_append_roundtrip(self, sim, log):
+        def proc():
+            offset = yield from log.append_blocks(b"hello-block")
+            data = yield from log.read(offset, 11)
+            return offset, data
+
+        offset, data = drive(sim, proc())
+        assert offset == 0
+        assert data == b"hello-block"
+        assert log.tail == 512  # padded to one block
+
+    def test_byte_append_roundtrip(self, sim, log):
+        def proc():
+            first = yield from log.append_bytes(b"aaa")
+            second = yield from log.append_bytes(b"bbbb")
+            data1 = yield from log.read(first, 3)
+            data2 = yield from log.read(second, 4)
+            return first, second, data1, data2
+
+        first, second, data1, data2 = drive(sim, proc())
+        assert (first, second) == (0, 3)
+        assert data1 == b"aaa"
+        assert data2 == b"bbbb"
+        assert log.tail == 7  # byte-granular tail
+
+    def test_concurrent_byte_appends_share_block(self, sim, log):
+        """Two writers staging into the same tail block must not lose
+        each other's bytes (the DRAM staging invariant)."""
+        def writer(payload):
+            offset = log.reserve(len(payload))
+            yield sim.timeout(1)  # interleave before the flush
+            yield from log.write_reserved(offset, payload)
+            return offset
+
+        proc_a = sim.process(writer(b"A" * 100))
+        proc_b = sim.process(writer(b"B" * 100))
+        sim.run()
+
+        def check():
+            data = yield from log.read(0, 200)
+            return data
+
+        data = drive(sim, check())
+        assert data == b"A" * 100 + b"B" * 100
+
+    def test_read_outside_window_rejected(self, sim, log):
+        def proc():
+            yield from log.append_bytes(b"xy")
+            with pytest.raises(LogRangeError):
+                yield from log.read(10, 5)
+
+        drive(sim, proc())
+
+    def test_full_log_rejects_append(self, sim, log):
+        def proc():
+            yield from log.append_blocks(b"z" * log.size)
+            with pytest.raises(LogFullError):
+                log.reserve(1)
+
+        drive(sim, proc())
+
+
+class TestWrapAround:
+    def test_wrapped_append_and_read(self, sim, log):
+        """After reclaiming the head, appends wrap to the region start
+        and reads spanning the physical boundary still work."""
+        block = log.block_size
+        blocks_total = log.size // block
+
+        def proc():
+            # Fill the log completely.
+            for index in range(blocks_total):
+                yield from log.append_blocks(bytes([index % 256]) * block)
+            # Reclaim the first half.
+            log.advance_head(log.size // 2)
+            # Append wraps into the freed space.
+            payload = b"WRAPPED!" * (block // 8)
+            offset = yield from log.append_blocks(payload * 2)
+            data = yield from log.read(offset, 2 * block)
+            return offset, data, payload
+
+        offset, data, payload = drive(sim, proc())
+        assert offset == log.size  # virtual offsets keep growing
+        assert data == payload * 2
+
+    def test_virtual_offsets_monotonic(self, sim, log):
+        def proc():
+            offsets = []
+            for round_index in range(3):
+                for _ in range(log.size // log.block_size // 2):
+                    offset = yield from log.append_blocks(b"x")
+                    offsets.append(offset)
+                log.advance_head(log.tail)
+            return offsets
+
+        offsets = drive(sim, proc())
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == len(offsets)
+
+
+class TestHeadAdvance:
+    def test_reclaims_space(self, sim, log):
+        def proc():
+            yield from log.append_blocks(b"x" * 2048)
+            log.advance_head(1024)
+            return log.free_bytes
+
+        assert drive(sim, proc()) == log.size - 1024
+
+    def test_cannot_move_backwards_or_past_tail(self, sim, log):
+        def proc():
+            yield from log.append_blocks(b"x" * 1024)
+            log.advance_head(512)
+            with pytest.raises(LogRangeError):
+                log.advance_head(256)
+            with pytest.raises(LogRangeError):
+                log.advance_head(log.tail + 1)
+
+        drive(sim, proc())
+
+    def test_read_of_reclaimed_range_rejected(self, sim, log):
+        def proc():
+            offset = yield from log.append_blocks(b"old" + b"\x00" * 509)
+            yield from log.append_blocks(b"new")
+            log.advance_head(512)
+            with pytest.raises(LogRangeError):
+                yield from log.read(offset, 3)
+
+        drive(sim, proc())
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(chunks=st.lists(st.binary(min_size=1, max_size=700),
+                           min_size=1, max_size=20))
+    def test_byte_appends_always_read_back(self, chunks):
+        sim = Simulator()
+        ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=1 << 20,
+                                      block_size=512, jitter=0.0),
+                      rng=RngRegistry(0))
+        log = CircularLog(ssd, 0, 64 << 10)
+
+        def proc():
+            offsets = []
+            for chunk in chunks:
+                offset = yield from log.append_bytes(chunk)
+                offsets.append(offset)
+            contents = []
+            for offset, chunk in zip(offsets, chunks):
+                data = yield from log.read(offset, len(chunk))
+                contents.append(data)
+            return contents
+
+        process = sim.process(proc())
+        contents = sim.run(until=process)
+        assert contents == chunks
+
+    @settings(max_examples=25, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=1, max_value=2000),
+                          min_size=1, max_size=30))
+    def test_accounting_invariants(self, sizes):
+        sim = Simulator()
+        ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=1 << 20,
+                                      block_size=512, jitter=0.0),
+                      rng=RngRegistry(0))
+        log = CircularLog(ssd, 0, 64 << 10)
+
+        def proc():
+            for size in sizes:
+                if size > log.free_bytes:
+                    log.advance_head(log.tail - log.used_bytes // 2)
+                if size <= log.free_bytes:
+                    yield from log.append_bytes(b"q" * size)
+                assert 0 <= log.used_bytes <= log.size
+                assert log.head <= log.tail
+
+        process = sim.process(proc())
+        sim.run(until=process)

@@ -1,0 +1,34 @@
+"""Tests for the `python -m repro.bench` command-line runner."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_run_fast_experiment(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "stingray" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_every_listed_experiment_importable(self):
+        import importlib
+        for name in EXPERIMENTS:
+            module = importlib.import_module(
+                "repro.bench.experiments." + name)
+            assert callable(module.run)

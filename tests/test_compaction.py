@@ -1,0 +1,242 @@
+"""Tests for key-log and value-log compaction (§3.3.1)."""
+
+import random
+
+import pytest
+
+from repro.core.compaction import CompactionConfig, Compactor
+from repro.core.datastore import LeedDataStore, StoreConfig
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.rng import RngRegistry
+
+from conftest import drive
+
+
+def make_store(sim, **config_kwargs):
+    defaults = dict(num_segments=32, key_log_bytes=128 << 10,
+                    value_log_bytes=256 << 10,
+                    compact_high_watermark=0.7,
+                    compact_low_watermark=0.4)
+    defaults.update(config_kwargs)
+    ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20, block_size=512,
+                                  jitter=0.0), rng=RngRegistry(5))
+    return LeedDataStore(sim, ssd, StoreConfig(**defaults))
+
+
+def fill(store, count, value_size=64, prefix=b"key"):
+    """Generator: count puts over ``count`` distinct keys."""
+    for index in range(count):
+        result = yield from store.put(b"%s-%04d" % (prefix, index),
+                                      b"v" * value_size)
+        assert result.ok, result.status
+
+
+class TestKeyLogCompaction:
+    def test_reclaims_dead_entries(self, sim):
+        store = make_store(sim)
+        compactor = Compactor(store)
+
+        def proc():
+            # Rewrite the same keys repeatedly: old segments become dead.
+            for _round in range(8):
+                yield from fill(store, 20)
+            before = store.key_log.used_bytes
+            reclaimed = yield from compactor.compact_key_log(target_fill=0.1)
+            return before, reclaimed
+
+        before, reclaimed = drive(sim, proc())
+        assert reclaimed > 0
+        assert store.key_log.used_bytes < before
+
+    def test_data_survives_compaction(self, sim):
+        store = make_store(sim)
+        compactor = Compactor(store)
+
+        def proc():
+            for _round in range(6):
+                yield from fill(store, 25)
+            yield from compactor.compact_key_log(target_fill=0.05)
+            for index in range(25):
+                got = yield from store.get(b"key-%04d" % index)
+                assert got.ok and got.value == b"v" * 64
+            return compactor.stats
+
+        stats = drive(sim, proc())
+        assert stats.segments_scanned > 0
+        assert stats.key_rounds == 1
+
+    def test_tombstones_purged(self, sim):
+        store = make_store(sim)
+        compactor = Compactor(store)
+
+        def proc():
+            yield from fill(store, 20)
+            for index in range(10):
+                yield from store.delete(b"key-%04d" % index)
+            yield from compactor.compact_key_log(target_fill=0.0)
+            # Deleted keys stay deleted; live keys stay live.
+            for index in range(10):
+                got = yield from store.get(b"key-%04d" % index)
+                assert got.status == "not_found"
+            for index in range(10, 20):
+                got = yield from store.get(b"key-%04d" % index)
+                assert got.ok
+            return compactor.stats.tombstones_dropped
+
+        assert drive(sim, proc()) > 0
+
+    def test_subcompaction_workers_produce_same_result(self, sim):
+        for workers in (1, 4):
+            sim2 = type(sim)()
+            store = make_store(sim2)
+            compactor = Compactor(store, CompactionConfig(
+                subcompactions=workers))
+
+            def proc():
+                for _round in range(5):
+                    yield from fill(store, 30)
+                yield from compactor.compact_key_log(target_fill=0.05)
+                values = {}
+                for index in range(30):
+                    got = yield from store.get(b"key-%04d" % index)
+                    values[index] = got.status
+                return values
+
+            process = sim2.process(proc())
+            values = sim2.run(until=process)
+            assert all(status == "ok" for status in values.values())
+
+    def test_prefetch_toggle_equivalent_outcome(self, sim):
+        results = {}
+        for prefetch in (True, False):
+            sim2 = type(sim)()
+            store = make_store(sim2)
+            compactor = Compactor(store, CompactionConfig(prefetch=prefetch))
+
+            def proc():
+                for _round in range(4):
+                    yield from fill(store, 20)
+                reclaimed = yield from compactor.compact_key_log(
+                    target_fill=0.05)
+                return reclaimed
+
+            process = sim2.process(proc())
+            results[prefetch] = sim2.run(until=process)
+        assert results[True] == results[False]
+
+
+class TestValueLogCompaction:
+    def test_reclaims_overwritten_values(self, sim):
+        store = make_store(sim)
+        compactor = Compactor(store)
+
+        def proc():
+            for _round in range(6):
+                yield from fill(store, 15, value_size=200)
+            before = store.value_log.used_bytes
+            reclaimed = yield from compactor.compact_value_log(
+                target_fill=0.05)
+            return before, reclaimed
+
+        before, reclaimed = drive(sim, proc())
+        assert reclaimed > 0
+
+    def test_live_values_relocated_and_readable(self, sim):
+        store = make_store(sim)
+        compactor = Compactor(store)
+
+        def proc():
+            yield from fill(store, 20, value_size=150)
+            # A little churn so the head has a mix of live and dead.
+            yield from fill(store, 5, value_size=150)
+            yield from compactor.compact_value_log(target_fill=0.0)
+            for index in range(20):
+                got = yield from store.get(b"key-%04d" % index)
+                assert got.ok, (index, got.status)
+                assert got.value == b"v" * 150
+            return compactor.stats.values_relocated
+
+        relocated = drive(sim, proc())
+        assert relocated > 0
+
+    def test_deleted_values_not_resurrected(self, sim):
+        store = make_store(sim)
+        compactor = Compactor(store)
+
+        def proc():
+            yield from fill(store, 10, value_size=100)
+            yield from store.delete(b"key-0003")
+            yield from compactor.compact_value_log(target_fill=0.0)
+            got = yield from store.get(b"key-0003")
+            return got.status
+
+        assert drive(sim, proc()) == "not_found"
+
+
+class TestMaintenance:
+    def test_watermark_triggers(self, sim):
+        store = make_store(sim, key_log_bytes=32 << 10)
+        compactor = Compactor(store)
+        sim.process(compactor.maintenance_loop(poll_us=50.0))
+
+        def proc():
+            for _round in range(12):
+                yield from fill(store, 15)
+                yield sim.timeout(200)
+            return compactor.stats.key_rounds
+
+        assert drive(sim, proc()) >= 1
+        assert store.key_log.fill_fraction() < 1.0
+
+    def test_no_compaction_below_watermark(self, sim):
+        store = make_store(sim)
+        compactor = Compactor(store)
+
+        def proc():
+            yield from fill(store, 5)
+            ran = yield from compactor.maintenance()
+            return ran
+
+        assert drive(sim, proc()) == 0
+        assert compactor.stats.key_rounds == 0
+
+
+class TestSwapMergeBack:
+    def test_swapped_value_merges_home(self, sim):
+        """A value written to a peer store's log returns to its home
+        log during value compaction (§3.6 merge-back)."""
+        ssd_a = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20,
+                                        block_size=512, jitter=0.0),
+                        rng=RngRegistry(1), name="ssd-a")
+        ssd_b = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20,
+                                        block_size=512, jitter=0.0),
+                        rng=RngRegistry(2), name="ssd-b")
+        config = StoreConfig(num_segments=16, key_log_bytes=64 << 10,
+                             value_log_bytes=128 << 10)
+        home = LeedDataStore(sim, ssd_a, config, name="home", store_id=0)
+        peer = LeedDataStore(sim, ssd_b, config, name="peer", store_id=1)
+        for store in (home, peer):
+            store.peer_value_logs.update({0: home.value_log,
+                                          1: peer.value_log})
+            store.peer_stores.update({0: home, 1: peer})
+        # Route home's next value write to the peer SSD (a swap).
+        home.value_router = lambda store, key, value: (1, peer.value_log)
+
+        def proc():
+            result = yield from home.put(b"swapped", b"payload")
+            assert result.ok
+            got = yield from home.get(b"swapped")
+            assert got.ok and got.value == b"payload"
+            # The key item records the peer as the value holder.
+            location = home.segtbl.location(
+                __import__("repro.core.segment", fromlist=["segment_of"])
+                .segment_of(b"swapped", 16))
+            # Merge back happens when the PEER compacts its value log.
+            home.value_router = LeedDataStore._home_value_router
+            compactor = Compactor(peer)
+            yield from compactor.compact_value_log(target_fill=0.0)
+            got = yield from home.get(b"swapped")
+            assert got.ok and got.value == b"payload"
+            return compactor.stats.values_merged_home
+
+        assert drive(sim, proc()) == 1

@@ -1,0 +1,129 @@
+"""Property tests for COPY planning (§3.8) — the no-data-loss math.
+
+These check the *planning* invariant that re-replication correctness
+rests on: after any single vnode removal, every key's new chain
+members either already held the key's arc in the old ring, or appear
+as the destination of a planned COPY task covering that key.
+
+(A violation of this invariant was an actual bug during development:
+merged ring arcs span multiple chain regions, so planning must split
+them at every old-ring vnode position.)
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hashring import HashRing, VNode, in_arcs, ring_position
+from repro.core.membership import ControlPlane, _split_arc
+from repro.net.topology import Network
+from repro.sim.core import Simulator
+
+
+def make_plane(num_jbofs, vnodes_per_jbof, replication):
+    sim = Simulator()
+    network = Network(sim)
+    plane = ControlPlane(sim, network, replication=replication)
+    for jbof in range(num_jbofs):
+        address = "jbof%d" % jbof
+        for part in range(vnodes_per_jbof):
+            vnode_id = "%s/p%d" % (address, part)
+            from repro.core.membership import VNodeInfo
+            plane.vnodes[vnode_id] = VNodeInfo(vnode_id, address)
+    plane.ring_version = 1
+    return plane
+
+
+class TestSplitArc:
+    def test_no_cuts_returns_arc(self):
+        ring = HashRing([VNode("a/p0", "a")], replication=1)
+        arc = (10, 20)
+        assert _split_arc(arc, ring) == [arc]
+
+    def test_cuts_at_positions(self):
+        vnodes = [VNode("n%d/p0" % i, "n%d" % i) for i in range(4)]
+        ring = HashRing(vnodes, replication=2)
+        lo = 0
+        hi = 2**32
+        pieces = _split_arc((lo, hi), ring)
+        # Every ring position is a boundary; pieces tile the arc.
+        assert pieces[0][0] == lo
+        assert pieces[-1][1] == hi
+        for (a_lo, a_hi), (b_lo, b_hi) in zip(pieces, pieces[1:]):
+            assert a_hi == b_lo
+
+    def test_pieces_cover_exactly(self):
+        vnodes = [VNode("n%d/p0" % i, "n%d" % i) for i in range(5)]
+        ring = HashRing(vnodes, replication=2)
+        arc = (1000, 2**31)
+        pieces = _split_arc(arc, ring)
+        total = sum(hi - lo for lo, hi in pieces)
+        assert total == arc[1] - arc[0]
+
+
+class TestPlanningInvariant:
+    @settings(max_examples=20, deadline=None)
+    @given(num_jbofs=st.integers(min_value=3, max_value=6),
+           vnodes_per_jbof=st.integers(min_value=1, max_value=3),
+           replication=st.integers(min_value=2, max_value=3),
+           victim_index=st.integers(min_value=0, max_value=20),
+           probe_seed=st.integers(min_value=0, max_value=1000))
+    def test_every_gained_arc_has_a_copy_source(
+            self, num_jbofs, vnodes_per_jbof, replication, victim_index,
+            probe_seed):
+        plane = make_plane(num_jbofs, vnodes_per_jbof, replication)
+        old_ring = plane.master_ring()
+        all_vnodes = sorted(plane.vnodes)
+        victim = all_vnodes[victim_index % len(all_vnodes)]
+        victim_address = plane.vnodes[victim].jbof_address
+        new_ring = old_ring.without_vnode(victim)
+        if not len(new_ring):
+            return
+
+        gainers = plane._gaining_vnodes(old_ring, new_ring, victim)
+        tasks = plane._copy_tasks_for_gain(
+            old_ring, new_ring, gainers, exclude_source=victim)
+
+        # For every probe key: each new-chain member either held the
+        # key before, or receives it via a planned task whose source
+        # held it before.
+        for index in range(60):
+            key = b"probe-%d-%04d" % (probe_seed, index)
+            position = ring_position(key)
+            old_chain = set(old_ring.chain_ids_for_key(key))
+            new_chain = new_ring.chain_ids_for_key(key)
+            for member in new_chain:
+                if member in old_chain:
+                    continue  # already holds the key's range
+                covering = [
+                    task for task in tasks
+                    if task.dst_vnode == member
+                    and in_arcs(position, task.arcs)]
+                assert covering, (key, member, victim)
+                for task in covering:
+                    assert task.src_vnode in old_chain
+                    assert task.src_vnode != victim
+
+    @settings(max_examples=15, deadline=None)
+    @given(num_jbofs=st.integers(min_value=3, max_value=5),
+           replication=st.integers(min_value=2, max_value=3))
+    def test_sources_never_on_excluded_address(self, num_jbofs,
+                                               replication):
+        plane = make_plane(num_jbofs, 2, replication)
+        old_ring = plane.master_ring()
+        dead_address = "jbof1"
+        dead = [v for v in plane.vnodes
+                if plane.vnodes[v].jbof_address == dead_address]
+        new_ring = old_ring
+        for vnode_id in dead:
+            new_ring = new_ring.without_vnode(vnode_id)
+        gainers = []
+        for vnode_id in dead:
+            gainers.extend(plane._gaining_vnodes(old_ring, new_ring,
+                                                 vnode_id))
+        tasks = plane._copy_tasks_for_gain(
+            old_ring, new_ring, sorted(set(gainers)),
+            exclude_source_address=dead_address)
+        for task in tasks:
+            assert task.src_address != dead_address
+            assert task.dst_address != dead_address

@@ -1,0 +1,165 @@
+"""Chain-role failure tests — failed head, mid, tail (§3.8.2).
+
+The paper enumerates how CRRS interacts with a failure at each chain
+position.  Here we find keys whose chain places the crashed JBOF at a
+specific position and check the paper's promised behaviour:
+
+* **failed head**: reads are still served by the rest of the chain;
+  new writes succeed once the control plane reconfigures;
+* **failed mid-node**: reads unaffected; writes resume after the
+  neighbour update;
+* **failed tail**: committed data survives — reads are handled by
+  other replicas (the client fails over past the dead tail).
+"""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, LeedCluster
+from repro.core.datastore import StoreConfig
+from repro.core.jbof import LeedOptions
+
+from conftest import drive
+
+
+def make_cluster(seed=31):
+    config = ClusterConfig(
+        num_jbofs=4, ssds_per_jbof=1, num_clients=1, replication=3,
+        store=StoreConfig(num_segments=64, key_log_bytes=1 << 20,
+                          value_log_bytes=4 << 20),
+        options=LeedOptions(heartbeat_period_us=2_000.0),
+        heartbeat_timeout_us=15_000.0,
+        seed=seed)
+    cluster = LeedCluster(config)
+    cluster.start()
+    return cluster
+
+
+def keys_by_chain_position(cluster, jbof_address, position, count=5,
+                           universe=400):
+    """Keys whose chain puts a vnode of ``jbof_address`` at ``position``."""
+    ring = cluster.control_plane.master_ring()
+    found = []
+    for index in range(universe):
+        key = b"probe-%04d" % index
+        chain = ring.chain_for_key(key)
+        if len(chain) > position and \
+                chain[position].jbof_address == jbof_address:
+            found.append(key)
+            if len(found) == count:
+                break
+    return found
+
+
+def load(cluster, keys):
+    client = cluster.clients[0]
+
+    def proc():
+        for key in keys:
+            result = yield from client.put(key, b"payload-" + key)
+            assert result.ok
+        yield cluster.sim.timeout(2_000)
+
+    drive(cluster.sim, proc())
+
+
+def wait_recovery(cluster, duration_us=600_000):
+    def proc():
+        yield cluster.sim.timeout(duration_us)
+
+    drive(cluster.sim, proc())
+
+
+@pytest.mark.parametrize("position,role", [(0, "head"), (1, "mid"),
+                                           (2, "tail")])
+class TestRoleFailure:
+    def test_reads_survive_role_failure(self, position, role):
+        cluster = make_cluster()
+        victim = cluster.jbofs[1]
+        keys = keys_by_chain_position(cluster, victim.address, position)
+        assert keys, "no keys with %s at %s" % (victim.address, role)
+        load(cluster, keys)
+
+        victim.crash()
+        # Reads during the detection window: the client retries over
+        # replicas; with R=3 and one failure the data is reachable.
+        client = cluster.clients[0]
+
+        def during():
+            ok = 0
+            for key in keys:
+                result = yield from client.get(key)
+                if result.status == "ok":
+                    assert result.value == b"payload-" + key
+                    ok += 1
+            return ok
+
+        served_during = drive(cluster.sim, during())
+        wait_recovery(cluster)
+
+        def after():
+            for key in keys:
+                result = yield from client.get(key)
+                assert result.status == "ok", (role, key, result.status)
+                assert result.value == b"payload-" + key
+
+        drive(cluster.sim, after())
+        # During the outage most reads should already have been served
+        # (tail failure forces failover; head/mid reads are direct).
+        assert served_during >= len(keys) - 1
+
+    def test_writes_resume_after_reconfiguration(self, position, role):
+        cluster = make_cluster()
+        victim = cluster.jbofs[2]
+        keys = keys_by_chain_position(cluster, victim.address, position)
+        assert keys
+        load(cluster, keys)
+        victim.crash()
+        wait_recovery(cluster)
+        client = cluster.clients[0]
+
+        def proc():
+            for key in keys:
+                result = yield from client.put(key, b"v2-" + key)
+                assert result.ok, (role, key, result.status)
+                got = yield from client.get(key)
+                assert got.ok and got.value == b"v2-" + key
+
+        drive(cluster.sim, proc())
+
+
+class TestCrashRecoverCycle:
+    def test_recovered_jbof_can_rejoin(self):
+        """A crashed JBOF heals and its vnodes rejoin via the control
+        plane's join path, receiving fresh copies."""
+        cluster = make_cluster()
+        sim = cluster.sim
+        keys = [b"probe-%04d" % index for index in range(30)]
+        load(cluster, keys)
+
+        victim = cluster.jbofs[3]
+        old_vnodes = list(victim.vnodes)
+        victim.crash()
+        wait_recovery(cluster)
+        assert all(v not in cluster.control_plane.vnodes
+                   for v in old_vnodes)
+
+        # Heal and rejoin each vnode.
+        victim.recover()
+
+        def rejoin():
+            for vnode_id in old_vnodes:
+                yield from cluster.control_plane.join_vnode(
+                    vnode_id, victim.address)
+            yield sim.timeout(5_000)
+
+        drive(sim, rejoin())
+        assert all(v in cluster.control_plane.vnodes for v in old_vnodes)
+
+        client = cluster.clients[0]
+
+        def verify():
+            for key in keys:
+                result = yield from client.get(key)
+                assert result.ok, key
+
+        drive(sim, verify())

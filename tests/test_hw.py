@@ -1,0 +1,305 @@
+"""Tests for the hardware models: flash, SSD, CPU, DRAM, platforms."""
+
+import pytest
+
+from repro.hw.cpu import CYCLE_COSTS, Core, CpuComplex
+from repro.hw.dram import Dram, OutOfMemoryError
+from repro.hw.flash import FlashArray, FlashError
+from repro.hw.platforms import (
+    RASPBERRY_PI,
+    SERVER_JBOF,
+    STINGRAY,
+    platform_by_name,
+    with_ssds,
+)
+from repro.hw.ssd import NVMeSSD, SSDProfile
+
+from conftest import drive
+
+
+class TestFlashArray:
+    def test_roundtrip_block(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        flash.write_block(3, b"hello")
+        assert flash.read_block(3)[:5] == b"hello"
+        assert flash.read_block(3)[5:] == b"\x00" * 507
+
+    def test_unwritten_reads_zero(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        assert flash.read_block(100) == b"\x00" * 512
+
+    def test_byte_reads_cross_blocks(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        flash.write(0, b"A" * 512 + b"B" * 512)
+        assert flash.read(500, 24) == b"A" * 12 + b"B" * 12
+
+    def test_unaligned_write_rejected(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        with pytest.raises(FlashError):
+            flash.write(100, b"data")
+
+    def test_out_of_range_rejected(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        with pytest.raises(FlashError):
+            flash.read(1 << 20, 1)
+        with pytest.raises(FlashError):
+            flash.write_block(-1, b"x")
+
+    def test_oversized_block_write_rejected(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        with pytest.raises(FlashError):
+            flash.write_block(0, b"x" * 513)
+
+    def test_trim_discards_full_blocks_only(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        flash.write(0, b"X" * 1536)
+        flash.trim(256, 1024)  # covers block 1 fully, 0 and 2 partially
+        assert flash.read_block(1) == b"\x00" * 512
+        assert flash.read_block(0)[:256] == b"X" * 256
+        assert flash.read_block(2)[:256] == b"X" * 256
+
+    def test_counters(self):
+        flash = FlashArray(1 << 20, block_size=512)
+        flash.write_block(0, b"a")
+        flash.write_block(0, b"b")
+        flash.read_block(0)
+        assert flash.writes == 2
+        assert flash.reads == 1
+        assert flash.max_program_count() == 2
+        assert flash.blocks_in_use == 1
+
+    def test_capacity_must_be_block_multiple(self):
+        with pytest.raises(ValueError):
+            FlashArray(1000, block_size=512)
+
+
+class TestNVMeSSD:
+    def test_write_read_roundtrip(self, sim, quiet_ssd):
+        def proc():
+            yield from quiet_ssd.write(0, b"payload")
+            data = yield from quiet_ssd.read(0, 7)
+            return data
+
+        assert drive(sim, proc()) == b"payload"
+
+    def test_read_latency_matches_profile(self, sim, quiet_ssd):
+        def proc():
+            yield from quiet_ssd.read(0, 512)
+            return sim.now
+
+        expected = quiet_ssd.profile.read_service_us(512)
+        assert drive(sim, proc()) == pytest.approx(expected)
+
+    def test_write_slower_in_aggregate_than_read(self, sim, quiet_ssd):
+        """Sustained 4KB writes are bandwidth-paced; reads are not."""
+        count = 400
+
+        def writes():
+            for index in range(count):
+                yield from quiet_ssd.write(index * 4096, b"w" * 4096)
+
+        def reads():
+            for index in range(count):
+                yield from quiet_ssd.read(index * 4096, 4096)
+
+        procs = [sim.process(writes())]
+        sim.run()
+        write_time = sim.now
+        sim2 = type(sim)()
+        profile = quiet_ssd.profile
+        ssd2 = NVMeSSD(sim2, profile, name="r")
+        for _ in range(8):
+            sim2.process(reads_gen(ssd2, count // 8))
+        sim2.run()
+        assert write_time > sim2.now * 0.5  # writes take comparably long serially
+
+    def test_channel_parallelism(self, sim, quiet_ssd):
+        """N concurrent reads finish ~in parallel up to channel count."""
+        channels = quiet_ssd.profile.channels
+
+        def one_read():
+            yield from quiet_ssd.read(0, 512)
+
+        for _ in range(channels):
+            sim.process(one_read())
+        sim.run()
+        expected = quiet_ssd.profile.read_service_us(512)
+        assert sim.now == pytest.approx(expected)
+
+    def test_stats_accumulate(self, sim, quiet_ssd):
+        def proc():
+            yield from quiet_ssd.write(0, b"x" * 512)
+            yield from quiet_ssd.read(0, 512)
+
+        drive(sim, proc())
+        assert quiet_ssd.stats.reads_completed == 1
+        assert quiet_ssd.stats.writes_completed == 1
+        assert quiet_ssd.stats.read_bytes == 512
+        assert quiet_ssd.stats.mean_read_latency_us > 0
+
+    def test_jitter_bounded(self, sim, small_ssd):
+        latencies = []
+
+        def proc():
+            for _ in range(50):
+                before = sim.now
+                yield from small_ssd.read(0, 512)
+                latencies.append(sim.now - before)
+
+        drive(sim, proc())
+        mean = small_ssd.profile.read_service_us(512)
+        jitter = small_ssd.profile.jitter
+        assert all(mean * (1 - jitter) * 0.999 <= lat <= mean * (1 + jitter) * 1.001
+                   for lat in latencies)
+        assert len(set(latencies)) > 1  # actually random
+
+    def test_peak_iops_formulas(self):
+        profile = SSDProfile()
+        assert profile.peak_read_iops() > 300_000
+        assert profile.peak_write_iops() <= profile.peak_read_iops() * 1.2
+
+    def test_energy_grows_with_activity(self, sim, quiet_ssd):
+        def proc():
+            for index in range(20):
+                yield from quiet_ssd.read(0, 4096)
+
+        idle_energy = quiet_ssd.profile.idle_power_w * 100 * 1e-6
+        drive(sim, proc())
+        assert quiet_ssd.energy_joules() > 0
+
+
+def reads_gen(ssd, count):
+    for index in range(count):
+        yield from ssd.read(index * 4096, 4096)
+
+
+class TestCore:
+    def test_execute_charges_time(self, sim):
+        core = Core(sim, freq_ghz=3.0)
+
+        def proc():
+            yield from core.execute(3000)
+            return sim.now
+
+        assert drive(sim, proc()) == pytest.approx(1.0)  # 3000 cycles @ 3GHz = 1us
+
+    def test_serial_execution(self, sim):
+        core = Core(sim, freq_ghz=1.0)
+        done = []
+
+        def worker(name):
+            yield from core.execute(1000)  # 1us at 1GHz
+            done.append((sim.now, name))
+
+        sim.process(worker("a"))
+        sim.process(worker("b"))
+        sim.run()
+        assert done[0][0] == pytest.approx(1.0)
+        assert done[1][0] == pytest.approx(2.0)
+
+    def test_utilization(self, sim):
+        core = Core(sim, freq_ghz=1.0)
+
+        def proc():
+            yield from core.execute_us(30)
+            yield sim.timeout(70)
+
+        drive(sim, proc())
+        assert core.utilization() == pytest.approx(0.3)
+
+    def test_negative_cycles_rejected(self, sim):
+        core = Core(sim, freq_ghz=1.0)
+        with pytest.raises(ValueError):
+            drive(sim, core.execute(-5))
+
+    def test_complex_least_loaded(self, sim):
+        cpu = CpuComplex(sim, num_cores=3, freq_ghz=2.0)
+        assert len(cpu) == 3
+        assert cpu.least_loaded() in cpu.cores
+
+    def test_cycle_costs_defined(self):
+        for key in ("rpc_receive", "hash_lookup", "btree_node_visit",
+                    "compaction_per_entry"):
+            assert CYCLE_COSTS[key] > 0
+
+
+class TestDram:
+    def test_reserve_and_release(self):
+        dram = Dram(1000)
+        dram.reserve("index", 400)
+        assert dram.used_bytes == 400
+        assert dram.free_bytes == 600
+        assert dram.release("index") == 400
+        assert dram.used_bytes == 0
+
+    def test_out_of_memory(self):
+        dram = Dram(1000)
+        dram.reserve("a", 900)
+        with pytest.raises(OutOfMemoryError):
+            dram.reserve("b", 200)
+
+    def test_reserve_accumulates(self):
+        dram = Dram(1000)
+        dram.reserve("x", 100)
+        dram.reserve("x", 100)
+        assert dram.reservation("x") == 200
+
+    def test_resize(self):
+        dram = Dram(1000)
+        dram.reserve("x", 500)
+        dram.resize("x", 100)
+        assert dram.reservation("x") == 100
+        dram.resize("x", 0)
+        assert dram.reservation("x") == 0
+
+    def test_transfer_time(self):
+        dram = Dram(1000, bandwidth_bpus=100.0)
+        assert dram.transfer_time_us(500) == pytest.approx(5.0)
+
+
+class TestPlatforms:
+    def test_lookup_by_name(self):
+        assert platform_by_name("stingray") is STINGRAY
+        assert platform_by_name("server") is SERVER_JBOF
+        assert platform_by_name("pi") is RASPBERRY_PI
+        with pytest.raises(KeyError):
+            platform_by_name("mainframe")
+
+    def test_skew_ordering_matches_table1(self):
+        """SmartNIC JBOF has the most skewed storage hierarchy."""
+        assert (STINGRAY.storage_skew_ratio()
+                > SERVER_JBOF.storage_skew_ratio()
+                > RASPBERRY_PI.storage_skew_ratio())
+
+    def test_computing_density_ordering(self):
+        assert (STINGRAY.network_density_gbps_per_core()
+                > SERVER_JBOF.network_density_gbps_per_core()
+                > RASPBERRY_PI.network_density_gbps_per_core())
+        assert (STINGRAY.storage_density_iops_per_core()
+                > SERVER_JBOF.storage_density_iops_per_core()
+                > RASPBERRY_PI.storage_density_iops_per_core())
+
+    def test_power_ordering(self):
+        assert (SERVER_JBOF.max_power_w > STINGRAY.max_power_w
+                > RASPBERRY_PI.max_power_w)
+        # Stingray draws roughly one-fifth to one-fourth of a server (§2.1).
+        ratio = SERVER_JBOF.max_power_w / STINGRAY.max_power_w
+        assert 3.0 < ratio < 6.0
+
+    def test_active_power_interpolates(self):
+        low = STINGRAY.active_power_w(0.0)
+        high = STINGRAY.active_power_w(1.0)
+        mid = STINGRAY.active_power_w(0.5)
+        assert low == STINGRAY.idle_power_w
+        assert high == STINGRAY.max_power_w
+        assert low < mid < high
+
+    def test_with_ssds(self):
+        two = with_ssds(STINGRAY, 2)
+        assert two.max_ssds == 2
+        with pytest.raises(ValueError):
+            with_ssds(STINGRAY, 9)
+
+    def test_utilization_clamped(self):
+        assert STINGRAY.active_power_w(5.0) == STINGRAY.max_power_w
+        assert STINGRAY.active_power_w(-1.0) == STINGRAY.idle_power_w

@@ -1,0 +1,198 @@
+"""Tests for the intra-JBOF token I/O engine (§3.4)."""
+
+import pytest
+
+from repro.core.datastore import LeedDataStore, StoreConfig
+from repro.core.io_engine import (
+    TOKEN_COST,
+    KVCommand,
+    OverloadError,
+    PartitionIOEngine,
+)
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.rng import RngRegistry
+
+from conftest import drive
+
+
+@pytest.fixture
+def store(sim):
+    ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20, block_size=512,
+                                  jitter=0.0), rng=RngRegistry(5))
+    return LeedDataStore(sim, ssd, StoreConfig(
+        num_segments=32, key_log_bytes=1 << 20, value_log_bytes=4 << 20))
+
+
+@pytest.fixture
+def engine(sim, store):
+    return PartitionIOEngine(sim, store, token_capacity=12,
+                             waiting_capacity=8, name="eng")
+
+
+class TestTokenCosts:
+    def test_costs_match_nvme_accesses(self):
+        """Token cost == device accesses per command (§3.3)."""
+        assert TOKEN_COST["get"] == 2
+        assert TOKEN_COST["put"] == 3
+        assert TOKEN_COST["del"] == 2
+
+
+class TestExecution:
+    def test_submit_executes_command(self, sim, engine):
+        def proc():
+            put = yield engine.submit(KVCommand("put", b"k", b"v"))
+            got = yield engine.submit(KVCommand("get", b"k"))
+            return put, got
+
+        put, got = drive(sim, proc())
+        assert put.ok and got.ok
+        assert got.value == b"v"
+        assert engine.stats.completed == 2
+
+    def test_delete_through_engine(self, sim, engine):
+        def proc():
+            yield engine.submit(KVCommand("put", b"k", b"v"))
+            yield engine.submit(KVCommand("del", b"k"))
+            got = yield engine.submit(KVCommand("get", b"k"))
+            return got
+
+        assert drive(sim, proc()).status == "not_found"
+
+    def test_unknown_op_fails_event(self, sim, engine):
+        def proc():
+            try:
+                yield engine.submit(KVCommand("scan", b"k"))
+            except ValueError:
+                return "rejected"
+
+        assert drive(sim, proc()) == "rejected"
+
+    def test_tokens_bound_concurrency(self, sim, store):
+        """With 12 tokens, at most 4 PUTs (3 tokens each) run at once."""
+        engine = PartitionIOEngine(sim, store, token_capacity=12,
+                                   waiting_capacity=64, name="wide")
+        peak = []
+
+        def submit_many():
+            events = [engine.submit(KVCommand("put", b"k%d" % i, b"v"))
+                      for i in range(10)]
+            yield sim.all_of(events)
+
+        def monitor():
+            while engine.stats.completed < 10:
+                peak.append(engine.active_occupancy)
+                yield sim.timeout(5)
+
+        sim.process(monitor())
+        drive(sim, submit_many())
+        assert max(peak) <= 4
+
+    def test_fcfs_start_order(self, sim, engine):
+        starts = []
+        original = engine._execute
+
+        def traced(command):
+            starts.append(command.key)
+            return original(command)
+
+        engine._execute = traced
+
+        def proc():
+            events = [engine.submit(KVCommand("get", b"g%d" % i))
+                      for i in range(6)]
+            yield sim.all_of(events)
+
+        drive(sim, proc())
+        assert starts == [b"g%d" % i for i in range(6)]
+
+
+class TestOverload:
+    def test_waiting_queue_overflow_rejects(self, sim, engine):
+        outcomes = []
+
+        def proc():
+            events = [engine.submit(KVCommand("put", b"k%02d" % i, b"v"))
+                      for i in range(30)]
+            for event in events:
+                try:
+                    result = yield event
+                    outcomes.append(result.status)
+                except OverloadError:
+                    outcomes.append("overload")
+
+        drive(sim, proc())
+        assert "overload" in outcomes
+        assert engine.stats.rejected > 0
+        assert outcomes.count("ok") >= 8
+
+    def test_overload_signal(self, sim, engine):
+        assert not engine.is_overloaded(threshold=1)
+        for index in range(6):
+            engine.submit(KVCommand("put", b"w%d" % index, b"v"))
+        assert engine.waiting_occupancy > 0 or engine.active_occupancy > 0
+
+
+class TestTokenAllocation:
+    def test_idle_allocation_positive(self, sim, engine):
+        assert engine.allocation_for("tenant") > 0
+
+    def test_retiring_credit_included(self, sim, engine):
+        base = engine.allocation_for("tenant")
+        with_credit = engine.allocation_for("tenant", retiring_cost=3)
+        assert with_credit == base + 3
+
+    def test_weighted_split(self, sim, engine):
+        engine.set_tenant_weight("gold", 3.0)
+        engine.set_tenant_weight("bronze", 1.0)
+        assert engine.allocation_for("gold") > engine.allocation_for("bronze")
+
+    def test_backlog_shrinks_allocation(self, sim, engine):
+        idle = engine.allocation_for("t")
+        for index in range(8):
+            engine.submit(KVCommand("put", b"b%d" % index, b"v"))
+        assert engine.allocation_for("t") < idle
+
+    def test_never_negative(self, sim, engine):
+        for index in range(8):
+            engine.submit(KVCommand("put", b"n%d" % index, b"v"))
+        assert engine.allocation_for("t") >= 0
+
+
+class TestStoreFullRetry:
+    def test_put_waits_for_compaction_headroom(self, sim):
+        """A PUT arriving at a full value log retries after backoff
+        instead of failing (the paper: PUTs 'served slowly')."""
+        ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20,
+                                      block_size=512, jitter=0.0),
+                      rng=RngRegistry(9))
+        store = LeedDataStore(sim, ssd, StoreConfig(
+            num_segments=32, key_log_bytes=1 << 20,
+            value_log_bytes=128 << 10))
+        engine = PartitionIOEngine(sim, store, token_capacity=100,
+                                   waiting_capacity=100)
+
+        def filler():
+            index = 0
+            while True:
+                result = yield from store.put(b"f%05d" % index, b"x" * 900)
+                if not result.ok:
+                    return index
+                index += 1
+
+        process = sim.process(filler())
+        count = sim.run(until=process)
+        assert count > 0
+
+        # Free space asynchronously while the engine retries the put.
+        def free_later():
+            yield sim.timeout(300)
+            store.value_log.advance_head(store.value_log.head + 16384)
+
+        sim.process(free_later())
+
+        def proc():
+            result = yield engine.submit(KVCommand("put", b"late", b"y" * 100))
+            return result
+
+        result = sim.run(until=sim.process(proc()))
+        assert result.ok

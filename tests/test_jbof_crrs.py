@@ -1,0 +1,243 @@
+"""Tests for the JBOF node and CRRS chain replication (§3.7)."""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, LeedCluster
+from repro.core.datastore import StoreConfig
+from repro.core.jbof import LeedOptions
+from repro.core.protocol import KVRequest
+
+from conftest import drive
+
+
+def small_cluster(num_jbofs=3, replication=3, crrs=True, num_clients=1,
+                  seed=0, **options_kwargs):
+    options = LeedOptions(**options_kwargs) if options_kwargs else LeedOptions()
+    config = ClusterConfig(
+        num_jbofs=num_jbofs, ssds_per_jbof=2, num_clients=num_clients,
+        replication=replication,
+        store=StoreConfig(num_segments=64, key_log_bytes=1 << 20,
+                          value_log_bytes=4 << 20),
+        options=options, crrs=crrs, seed=seed)
+    cluster = LeedCluster(config)
+    cluster.start()
+    return cluster
+
+
+class TestWritePath:
+    def test_write_replicated_to_all_chain_members(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            result = yield from client.put(b"replicated-key", b"the-value")
+            assert result.ok
+            # Let backward acks drain.
+            yield sim.timeout(1000)
+
+        drive(sim, proc())
+        chain = client.local_ring.chain_ids_for_key(b"replicated-key")
+        assert len(chain) == 3
+        holders = 0
+        for node in cluster.jbofs:
+            for vnode_id, runtime in node.vnodes.items():
+                if vnode_id in chain:
+                    def check(runtime=runtime):
+                        got = yield from runtime.store.get(b"replicated-key")
+                        return got
+
+                    got = drive(sim, check())
+                    assert got.ok and got.value == b"the-value"
+                    holders += 1
+        assert holders == 3
+
+    def test_dirty_bits_cleared_after_commit(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            for index in range(20):
+                result = yield from client.put(b"k%02d" % index, b"v")
+                assert result.ok
+            yield sim.timeout(2000)  # acks propagate backward
+
+        drive(sim, proc())
+        residue = sum(len(rt.dirty) for node in cluster.jbofs
+                      for rt in node.vnodes.values())
+        assert residue == 0
+
+    def test_tail_commits_and_counts(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            for index in range(10):
+                yield from client.put(b"w%d" % index, b"v")
+            yield sim.timeout(500)
+
+        drive(sim, proc())
+        commits = sum(rt.stats.writes_committed for node in cluster.jbofs
+                      for rt in node.vnodes.values())
+        forwards = sum(rt.stats.writes_forwarded for node in cluster.jbofs
+                       for rt in node.vnodes.values())
+        assert commits == 10
+        assert forwards == 20  # two non-tail hops per write
+
+
+class TestReadPath:
+    def test_read_any_clean_replica(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            yield from client.put(b"key", b"value")
+            yield sim.timeout(1000)
+            # Read repeatedly; CRRS may serve from any replica.
+            for _ in range(12):
+                result = yield from client.get(b"key")
+                assert result.ok and result.value == b"value"
+
+        drive(sim, proc())
+        served = [rt.stats.reads_served for node in cluster.jbofs
+                  for rt in node.vnodes.values()]
+        assert sum(served) == 12
+
+    def test_dirty_read_ships_to_tail(self):
+        """A GET hitting a replica with the dirty bit set must be
+        shipped to the tail, never served stale."""
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            yield from client.put(b"hot", b"v0")
+            yield sim.timeout(1000)
+            chain = client.local_ring.chain_ids_for_key(b"hot")
+            # Manually dirty the head replica (as if a write were in
+            # flight) and force a read at it.
+            head_id = chain[0]
+            for node in cluster.jbofs:
+                if head_id in node.vnodes:
+                    node.vnodes[head_id].mark_dirty(b"hot")
+                    head_node, head_runtime = node, node.vnodes[head_id]
+            reply = yield client.rpc.call(
+                head_node.address, "kv",
+                KVRequest("get", b"hot", None, head_id,
+                          client.local_ring.version, 0, "t"),
+                32)
+            return reply, head_runtime.stats.reads_shipped
+
+        reply, shipped = drive(sim, proc())
+        assert reply.status == "ok"
+        assert reply.value == b"v0"
+        assert shipped == 1
+        # The reply came from the tail, not the dirty head.
+        chain = cluster.clients[0].local_ring.chain_ids_for_key(b"hot")
+        assert reply.served_by == chain[-1]
+
+    def test_read_without_crrs_goes_to_tail(self):
+        cluster = small_cluster(crrs=False)
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            yield from client.put(b"k", b"v")
+            yield sim.timeout(500)
+            for _ in range(8):
+                result = yield from client.get(b"k")
+                assert result.ok
+
+        drive(sim, proc())
+        chain = client.local_ring.chain_ids_for_key(b"k")
+        tail_id = chain[-1]
+        for node in cluster.jbofs:
+            for vnode_id, runtime in node.vnodes.items():
+                if vnode_id == tail_id:
+                    assert runtime.stats.reads_served == 8
+                elif vnode_id in chain:
+                    assert runtime.stats.reads_served == 0
+
+
+class TestViewValidation:
+    def test_stale_hop_nacked(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            chain = client.local_ring.chain_for_key(b"key")
+            wrong_hop = 2  # head vnode addressed as if it were the tail
+            reply = yield client.rpc.call(
+                chain[0].jbof_address, "kv",
+                KVRequest("put", b"key", b"v", chain[0].vnode_id,
+                          client.local_ring.version, wrong_hop, "t"),
+                64)
+            return reply
+
+        reply = drive(sim, proc())
+        assert reply.status == "nack"
+
+    def test_unknown_vnode_unavailable(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            reply = yield client.rpc.call(
+                cluster.jbofs[0].address, "kv",
+                KVRequest("get", b"key", None, "jbof0/p999",
+                          client.local_ring.version, 0, "t"),
+                32)
+            return reply
+
+        assert drive(sim, proc()).status == "unavailable"
+
+
+class TestTokenPiggyback:
+    def test_replies_carry_tokens(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            yield from client.put(b"k", b"v")
+            result = yield from client.get(b"k")
+            return result
+
+        result = drive(sim, proc())
+        assert result.ok
+        served = result.served_by
+        assert client.flow.view(served).tokens > 0
+
+
+class TestSwapInCluster:
+    def test_swap_disabled_never_redirects(self):
+        cluster = small_cluster(enable_swap=False)
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            for index in range(40):
+                yield from client.put(b"s%02d" % index, b"v" * 256)
+
+        drive(sim, proc())
+        assert sum(node.swap_redirects for node in cluster.jbofs) == 0
+
+    def test_crash_makes_node_silent(self):
+        cluster = small_cluster()
+        sim = cluster.sim
+        client = cluster.clients[0]
+        cluster.jbofs[1].crash()
+
+        def proc():
+            result = yield from client.put(b"k", b"v")
+            return result
+
+        result = drive(sim, proc())
+        # The write either succeeded via a chain that avoids jbof1, or
+        # exhausted retries; it must not hang or corrupt.
+        assert result.status in ("ok", "unavailable", "overloaded")

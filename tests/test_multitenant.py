@@ -1,0 +1,83 @@
+"""Multi-tenant weighted token allocation (§3.5).
+
+"Each back-end SSD allocates available tokens based on its waiting
+queue among co-located tenants in a weighted fashion and distributes
+them via a piggyback response."  These tests drive two tenants with
+different weights against one saturated partition and check that the
+flow-control allocations — and the throughput they admit — track the
+weights.
+"""
+
+import pytest
+
+from repro.core.datastore import LeedDataStore, StoreConfig
+from repro.core.io_engine import KVCommand, PartitionIOEngine
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.rng import RngRegistry
+
+from conftest import drive
+
+
+@pytest.fixture
+def engine(sim):
+    ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20, block_size=512,
+                                  jitter=0.0), rng=RngRegistry(5))
+    store = LeedDataStore(sim, ssd, StoreConfig(
+        num_segments=64, key_log_bytes=2 << 20, value_log_bytes=8 << 20))
+    return PartitionIOEngine(sim, store, token_capacity=24,
+                             waiting_capacity=64, name="mt")
+
+
+class TestWeightedAllocation:
+    def test_allocations_proportional_to_weights(self, sim, engine):
+        engine.set_tenant_weight("gold", 3.0)
+        engine.set_tenant_weight("bronze", 1.0)
+        gold = engine.allocation_for("gold")
+        bronze = engine.allocation_for("bronze")
+        assert gold == pytest.approx(3 * bronze, abs=3)
+
+    def test_unknown_tenant_gets_weight_one(self, sim, engine):
+        engine.set_tenant_weight("gold", 3.0)
+        stranger = engine.allocation_for("stranger")
+        bronze_like = int(engine.tokens * 1.0 / 3.0)
+        assert stranger <= bronze_like + 1
+
+    def test_weighted_tenants_split_saturated_partition(self, sim, engine):
+        """Closed loop, token-gated issuing per tenant: completed
+        work should track the 3:1 weights within a loose band."""
+        engine.set_tenant_weight("gold", 3.0)
+        engine.set_tenant_weight("bronze", 1.0)
+        completed = {"gold": 0, "bronze": 0}
+
+        def tenant_driver(tenant, budget_tokens_per_round):
+            index = 0
+            while sim.now < 40_000:
+                # Spend up to the advertised allocation each round —
+                # the client half of the §3.5 protocol.
+                allowance = engine.allocation_for(tenant)
+                issued = []
+                while allowance >= 3 and len(issued) < 16:
+                    command = KVCommand("put",
+                                        b"%s-%05d" % (tenant.encode(), index),
+                                        b"v" * 64, tenant=tenant)
+                    issued.append(engine.submit(command))
+                    allowance -= 3
+                    index += 1
+                for event in issued:
+                    try:
+                        result = yield event
+                        if result.ok:
+                            completed[tenant] += 1
+                    except Exception:
+                        pass
+                yield sim.timeout(50)
+
+        procs = [sim.process(tenant_driver("gold", 9)),
+                 sim.process(tenant_driver("bronze", 3))]
+        sim.run(until=sim.all_of(procs))
+        assert completed["gold"] > 1.5 * completed["bronze"], completed
+
+    def test_equal_weights_equal_service(self, sim, engine):
+        engine.set_tenant_weight("a", 1.0)
+        engine.set_tenant_weight("b", 1.0)
+        assert engine.allocation_for("a") == engine.allocation_for("b")

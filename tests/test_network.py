@@ -1,0 +1,230 @@
+"""Tests for the fabric, RDMA verbs, and RPC layer."""
+
+import pytest
+
+from repro.net.rdma import QueuePair, WIRE_OVERHEAD_BYTES
+from repro.net.rpc import RpcEndpoint, RpcError, RpcTimeout
+from repro.net.topology import NIC_1G_USB, NIC_100G, Network
+
+from conftest import drive
+
+
+@pytest.fixture
+def net(sim):
+    network = Network(sim)
+    network.attach("a")
+    network.attach("b")
+    return network
+
+
+class TestFabric:
+    def test_delivery(self, sim, net):
+        net.transmit("a", "b", 100, "hello")
+        sim.run()
+        assert net.nic("b").rx_queue.try_get() == "hello"
+        assert net.messages_delivered == 1
+
+    def test_in_order_per_pair(self, sim, net):
+        for index in range(5):
+            net.transmit("a", "b", 1000, index)
+        sim.run()
+        received = []
+        while True:
+            item = net.nic("b").rx_queue.try_get()
+            if item is None:
+                break
+            received.append(item)
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_latency_scales_with_size(self, sim, net):
+        small = net.one_way_latency_us("a", "b", 64)
+        large = net.one_way_latency_us("a", "b", 64 * 1024)
+        assert large > small
+
+    def test_serialization_paces_sender(self, sim, net):
+        # Two 125000-byte messages at 12.5 GB/s: second is delayed by
+        # the first's 10us serialization.
+        net.transmit("a", "b", 125000, 1)
+        net.transmit("a", "b", 125000, 2)
+        sim.run()
+        # Both delivered, and time includes 2x serialization.
+        assert sim.now >= 2 * 125000 / NIC_100G.bandwidth_bpus
+
+    def test_partition_drops_traffic(self, sim, net):
+        net.partition("b")
+        net.transmit("a", "b", 10, "lost")
+        sim.run()
+        assert net.nic("b").rx_queue.try_get() is None
+        net.heal("b")
+        net.transmit("a", "b", 10, "found")
+        sim.run()
+        assert net.nic("b").rx_queue.try_get() == "found"
+
+    def test_partition_mid_flight(self, sim, net):
+        net.transmit("a", "b", 10, "doomed")
+        net.partition("b")  # dies before delivery
+        sim.run()
+        assert net.nic("b").rx_queue.try_get() is None
+
+    def test_unknown_endpoint_rejected(self, sim, net):
+        with pytest.raises(KeyError):
+            net.transmit("a", "nowhere", 1, "x")
+
+    def test_duplicate_attach_rejected(self, sim, net):
+        with pytest.raises(ValueError):
+            net.attach("a")
+
+    def test_slow_nic_profile(self, sim):
+        network = Network(sim)
+        network.attach("pi", NIC_1G_USB)
+        network.attach("host")
+        slow = network.one_way_latency_us("pi", "host", 1500)
+        network2 = Network(sim)
+        network2.attach("fast1")
+        network2.attach("fast2")
+        fast = network2.one_way_latency_us("fast1", "fast2", 1500)
+        assert slow > 10 * fast
+
+
+class TestRdmaVerbs:
+    def test_send_reaches_recv_cq(self, sim, net):
+        qp_a = QueuePair(sim, net, "a")
+        qp_b = QueuePair(sim, net, "b")
+
+        def proc():
+            qp_a.post_send("b", {"cmd": "get"}, 64)
+            completion = yield qp_b.recv_cq.get()
+            return completion
+
+        completion = drive(sim, proc())
+        assert completion.src == "a"
+        assert completion.payload == {"cmd": "get"}
+
+    def test_write_imm_lands_in_region(self, sim, net):
+        qp_a = QueuePair(sim, net, "a")
+        qp_b = QueuePair(sim, net, "b")
+        region = qp_a.register_region(4096)
+
+        def proc():
+            qp_b.post_write_imm("a", region.key, b"response", 8, imm=77)
+            completion = yield qp_a.write_cq.get()
+            return completion
+
+        completion = drive(sim, proc())
+        assert completion.imm == 77
+        assert region.data == b"response"
+
+    def test_write_to_deregistered_region_dropped(self, sim, net):
+        qp_a = QueuePair(sim, net, "a")
+        qp_b = QueuePair(sim, net, "b")
+        region = qp_a.register_region(64)
+        qp_a.deregister_region(region.key)
+        qp_b.post_write_imm("a", region.key, b"x", 1, imm=1)
+        sim.run(until=100)
+        assert len(qp_a.write_cq) == 0
+
+    def test_verb_counters(self, sim, net):
+        qp_a = QueuePair(sim, net, "a")
+        QueuePair(sim, net, "b")
+        qp_a.post_send("b", "x", 4)
+        qp_a.post_write_imm("b", 1, "y", 4, imm=0)
+        assert qp_a.sends_posted == 1
+        assert qp_a.writes_posted == 1
+
+
+class TestRpc:
+    def test_round_trip(self, sim, net):
+        client = RpcEndpoint(sim, net, "a")
+        server = RpcEndpoint(sim, net, "b")
+
+        def handler(src, body):
+            yield sim.timeout(1)
+            return body * 2, 8
+
+        server.register("double", handler)
+
+        def proc():
+            result = yield client.call("b", "double", 21, 8)
+            return result
+
+        assert drive(sim, proc()) == 42
+
+    def test_plain_function_handler(self, sim, net):
+        client = RpcEndpoint(sim, net, "a")
+        server = RpcEndpoint(sim, net, "b")
+        server.register("echo", lambda src, body: (body, 4))
+
+        def proc():
+            return (yield client.call("b", "echo", "hi", 2))
+
+        assert drive(sim, proc()) == "hi"
+
+    def test_missing_handler_fails_call(self, sim, net):
+        client = RpcEndpoint(sim, net, "a")
+        RpcEndpoint(sim, net, "b")
+
+        def proc():
+            yield client.call("b", "nothing", None, 0)
+
+        with pytest.raises(RpcError):
+            drive(sim, proc())
+
+    def test_timeout_on_dead_server(self, sim, net):
+        client = RpcEndpoint(sim, net, "a")
+        RpcEndpoint(sim, net, "b")
+        net.partition("b")
+
+        def proc():
+            try:
+                yield client.call("b", "x", None, 0, timeout_us=50)
+            except RpcTimeout:
+                return "timed-out"
+
+        assert drive(sim, proc()) == "timed-out"
+        assert sim.now >= 50
+
+    def test_notify_one_way(self, sim, net):
+        client = RpcEndpoint(sim, net, "a")
+        server = RpcEndpoint(sim, net, "b")
+        heard = []
+
+        def on_ping(src, body):
+            heard.append((src, body))
+            return None
+
+        server.register("ping", on_ping)
+        client.notify("b", "ping", "knock", 5)
+        sim.run(until=100)
+        assert heard == [("a", "knock")]
+
+    def test_raw_handler_forwarding(self, sim, net):
+        """A raw handler forwards the envelope; the remote responds
+        directly to the original caller (request shipping)."""
+        net.attach("c")
+        client = RpcEndpoint(sim, net, "a")
+        middle = RpcEndpoint(sim, net, "b")
+        tail = RpcEndpoint(sim, net, "c")
+
+        def middle_handler(src, request):
+            middle.forward("c", request)
+            yield sim.timeout(0)
+
+        def tail_handler(src, request):
+            yield sim.timeout(1)
+            tail.respond(request, "from-tail", 9)
+
+        middle.register_raw("kv", middle_handler)
+        tail.register_raw("kv", tail_handler)
+
+        def proc():
+            return (yield client.call("b", "kv", "get-x", 5))
+
+        assert drive(sim, proc()) == "from-tail"
+
+    def test_duplicate_registration_rejected(self, sim, net):
+        server = RpcEndpoint(sim, net, "b")
+        server.register("m", lambda s, b: None)
+        with pytest.raises(ValueError):
+            server.register("m", lambda s, b: None)
+        with pytest.raises(ValueError):
+            server.register_raw("m", lambda s, r: None)

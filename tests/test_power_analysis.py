@@ -1,0 +1,130 @@
+"""Tests for power metering, energy reports, and the analysis module."""
+
+import pytest
+
+from repro.core.analysis import (
+    balls_into_bins_max_load,
+    capacity_table,
+    fawn_usable_fraction,
+    kvell_usable_fraction,
+    leed_dram_per_object,
+    leed_usable_fraction,
+    table1_rows,
+)
+from repro.hw.platforms import STINGRAY
+from repro.power.meter import EnergyReport, PowerMeter, cluster_energy
+
+from conftest import drive
+
+
+class TestPowerMeter:
+    def test_idle_energy(self, sim):
+        meter = PowerMeter(sim, STINGRAY, lambda: 0.0)
+        sim.schedule(1_000_000, lambda: None)  # 1 second
+        sim.run()
+        energy = meter.energy_joules()
+        assert energy == pytest.approx(STINGRAY.idle_power_w, rel=0.01)
+
+    def test_active_energy_higher(self, sim):
+        busy = PowerMeter(sim, STINGRAY, lambda: 1.0)
+        idle = PowerMeter(sim, STINGRAY, lambda: 0.0)
+        sim.schedule(1_000_000, lambda: None)
+        sim.run()
+        assert busy.energy_joules() > idle.energy_joules()
+        assert busy.energy_joules() == pytest.approx(STINGRAY.max_power_w,
+                                                     rel=0.01)
+
+    def test_extra_idle_draw(self, sim):
+        meter = PowerMeter(sim, STINGRAY, lambda: 0.0, extra_idle_w=5.0)
+        sim.schedule(1_000_000, lambda: None)
+        sim.run()
+        assert meter.energy_joules() == pytest.approx(
+            STINGRAY.idle_power_w + 5.0, rel=0.01)
+
+    def test_mean_power(self, sim):
+        meter = PowerMeter(sim, STINGRAY, lambda: 0.5)
+        sim.schedule(500_000, lambda: None)
+        sim.run()
+        expected = STINGRAY.active_power_w(0.5)
+        assert meter.mean_power_w() == pytest.approx(expected, rel=0.01)
+
+    def test_cluster_energy_sums(self, sim):
+        meters = [PowerMeter(sim, STINGRAY, lambda: 0.0) for _ in range(3)]
+        sim.schedule(1_000_000, lambda: None)
+        sim.run()
+        assert cluster_energy(meters) == pytest.approx(
+            3 * STINGRAY.idle_power_w, rel=0.01)
+
+
+class TestEnergyReport:
+    def test_queries_per_joule(self):
+        report = EnergyReport(requests_completed=1000, elapsed_us=1e6,
+                              energy_joules=50.0, label="x")
+        assert report.throughput_qps == pytest.approx(1000.0)
+        assert report.queries_per_joule == pytest.approx(20.0)
+        assert report.mean_power_w == pytest.approx(50.0)
+        assert "x" in str(report)
+
+    def test_zero_guards(self):
+        report = EnergyReport(0, 0.0, 0.0)
+        assert report.throughput_qps == 0.0
+        assert report.queries_per_joule == 0.0
+
+
+class TestBallsIntoBins:
+    def test_fewer_bins_higher_max_load(self):
+        assert (balls_into_bins_max_load(1e6, 3)
+                > balls_into_bins_max_load(1e6, 100))
+
+    def test_exceeds_mean(self):
+        for bins in (3, 10, 100):
+            assert balls_into_bins_max_load(1e6, bins) > 1e6 / bins
+
+    def test_single_bin(self):
+        assert balls_into_bins_max_load(500, 1) == 500
+
+
+class TestTable1:
+    def test_three_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        names = [row.platform for row in rows]
+        assert "stingray-ps1100r" in names
+
+    def test_smartnic_most_skewed(self):
+        rows = {row.platform: row for row in table1_rows()}
+        stingray = rows["stingray-ps1100r"]
+        assert stingray.storage_skew_ratio == max(
+            row.storage_skew_ratio for row in rows.values())
+
+
+class TestCapacityTable:
+    """The Table 3 'Max. Capacity' shape: LEED >> FAWN >> KVell."""
+
+    def test_ordering(self):
+        table = capacity_table()
+        for size in (256, 1024):
+            assert (table["LEED"][size] > table["FAWN-JBOF"][size]
+                    > table["KVell-JBOF"][size])
+
+    def test_leed_exposes_most_flash(self):
+        table = capacity_table()
+        assert table["LEED"][1024] > 0.90
+        assert table["LEED"][256] > 0.75
+
+    def test_kvell_under_five_percent(self):
+        table = capacity_table()
+        assert table["KVell-JBOF"][256] < 0.05
+
+    def test_fawn_small_objects_worst(self):
+        assert fawn_usable_fraction(STINGRAY, 256) < \
+            fawn_usable_fraction(STINGRAY, 1024)
+
+    def test_larger_objects_raise_all_fractions(self):
+        for fn in (fawn_usable_fraction, kvell_usable_fraction,
+                   leed_usable_fraction):
+            assert fn(STINGRAY, 1024) >= fn(STINGRAY, 256)
+
+    def test_leed_dram_per_object_below_half_byte(self):
+        """The design requirement of §2.3 / C1."""
+        assert leed_dram_per_object() < 0.5

@@ -1,0 +1,95 @@
+"""Tests for wire-protocol message bodies and size accounting."""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, LeedCluster
+from repro.core.datastore import StoreConfig
+from repro.core.protocol import (
+    ChainAck,
+    CopyBatch,
+    Heartbeat,
+    KVReply,
+    KVRequest,
+    MembershipUpdate,
+)
+
+from conftest import drive
+
+
+class TestWireSizes:
+    def test_request_size_includes_payload(self):
+        small = KVRequest("put", b"k", b"v")
+        large = KVRequest("put", b"k", b"v" * 1024)
+        assert large.wire_bytes() == small.wire_bytes() + 1023
+
+    def test_get_request_has_no_value_bytes(self):
+        request = KVRequest("get", b"key")
+        assert request.wire_bytes() < 64
+
+    def test_reply_size(self):
+        empty = KVReply("not_found")
+        loaded = KVReply("ok", value=b"x" * 100)
+        assert loaded.wire_bytes() == empty.wire_bytes() + 100
+
+    def test_copy_batch_size_scales_with_pairs(self):
+        one = CopyBatch("a", "b", pairs=[(b"k", b"v" * 100)])
+        two = CopyBatch("a", "b", pairs=[(b"k", b"v" * 100)] * 2)
+        assert two.wire_bytes() - one.wire_bytes() == 101
+
+    def test_membership_update_scales_with_vnodes(self):
+        small = MembershipUpdate(1, [("a", "j")], [("a", "RUNNING")])
+        large = MembershipUpdate(1, [("a", "j")] * 10,
+                                 [("a", "RUNNING")] * 10)
+        assert large.wire_bytes() > small.wire_bytes()
+
+    def test_fixed_size_messages(self):
+        assert Heartbeat("j", 0.0).wire_bytes() == 24
+        assert ChainAck(b"key", "v").wire_bytes() == 19
+
+
+class TestDelReplication:
+    def test_delete_propagates_through_chain(self):
+        """DELs traverse the chain like PUTs (§3.3, §3.7): after an
+        acked delete, no replica still holds the key."""
+        cluster = LeedCluster(ClusterConfig(
+            num_jbofs=3, ssds_per_jbof=1, num_clients=1, replication=3,
+            store=StoreConfig(num_segments=32, key_log_bytes=1 << 20,
+                              value_log_bytes=4 << 20),
+            seed=13))
+        cluster.start()
+        sim = cluster.sim
+        client = cluster.clients[0]
+
+        def proc():
+            result = yield from client.put(b"doomed", b"v")
+            assert result.ok
+            result = yield from client.delete(b"doomed")
+            assert result.ok
+            yield sim.timeout(2_000)  # acks drain
+
+        drive(sim, proc())
+        chain = client.local_ring.chain_ids_for_key(b"doomed")
+        for node in cluster.jbofs:
+            for vnode_id, runtime in node.vnodes.items():
+                if vnode_id not in chain:
+                    continue
+
+                def check(runtime=runtime):
+                    got = yield from runtime.store.get(b"doomed")
+                    return got.status
+
+                assert drive(sim, check()) == "not_found", vnode_id
+
+    def test_delete_of_missing_key_replies_not_found(self):
+        cluster = LeedCluster(ClusterConfig(
+            num_jbofs=3, ssds_per_jbof=1, num_clients=1, replication=3,
+            store=StoreConfig(num_segments=32, key_log_bytes=1 << 20,
+                              value_log_bytes=4 << 20),
+            seed=13))
+        cluster.start()
+        client = cluster.clients[0]
+
+        def proc():
+            return (yield from client.delete(b"never-existed"))
+
+        assert drive(cluster.sim, proc()).status == "not_found"

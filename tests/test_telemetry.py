@@ -1,0 +1,78 @@
+"""Tests for the telemetry snapshot/report module."""
+
+import pytest
+
+from repro.core.cluster import ClusterConfig, LeedCluster
+from repro.core.datastore import StoreConfig
+from repro.telemetry import render, snapshot
+
+from conftest import drive
+
+
+@pytest.fixture
+def busy_cluster():
+    cluster = LeedCluster(ClusterConfig(
+        num_jbofs=2, ssds_per_jbof=1, num_clients=1, replication=2,
+        store=StoreConfig(num_segments=32, key_log_bytes=1 << 20,
+                          value_log_bytes=4 << 20),
+        seed=15))
+    cluster.start()
+    client = cluster.clients[0]
+
+    def warmup():
+        for index in range(25):
+            result = yield from client.put(b"k%02d" % index, b"v" * 100)
+            assert result.ok
+        for index in range(25):
+            result = yield from client.get(b"k%02d" % index)
+            assert result.ok
+        yield cluster.sim.timeout(1_000)
+
+    drive(cluster.sim, warmup())
+    return cluster
+
+
+class TestSnapshot:
+    def test_structure(self, busy_cluster):
+        snap = snapshot(busy_cluster)
+        assert snap.time_us > 0
+        assert snap.ring_version == 1
+        assert len(snap.nodes) == 2
+        assert len(snap.clients) == 1
+        assert snap.total_energy_joules > 0
+
+    def test_device_counters_nonzero(self, busy_cluster):
+        snap = snapshot(busy_cluster)
+        devices = [d for node in snap.nodes for d in node.devices]
+        assert sum(d.reads for d in devices) > 0
+        assert sum(d.writes for d in devices) > 0
+        assert all(0 <= d.busy_fraction <= 1 for d in devices)
+
+    def test_vnode_counters(self, busy_cluster):
+        snap = snapshot(busy_cluster)
+        vnodes = [v for node in snap.nodes for v in node.vnodes]
+        assert sum(v.live_objects for v in vnodes) >= 25  # replicated
+        assert sum(v.completed for v in vnodes) > 0
+        assert all(v.state == "RUNNING" for v in vnodes)
+        assert all(v.dirty_keys == 0 for v in vnodes)  # acks drained
+
+    def test_client_counters(self, busy_cluster):
+        snap = snapshot(busy_cluster)
+        client = snap.clients[0]
+        assert client.operations == 50
+        assert client.ok == 50
+        assert client.mean_latency_us > 0
+        assert client.p99_latency_us >= client.mean_latency_us * 0.5
+
+    def test_render_contains_everything(self, busy_cluster):
+        text = render(snapshot(busy_cluster))
+        assert "jbof0" in text
+        assert "jbof1" in text
+        assert "client0" in text
+        assert "ring v1" in text
+        assert "ops" in text
+
+    def test_render_marks_dead_nodes(self, busy_cluster):
+        busy_cluster.jbofs[1].crash()
+        text = render(snapshot(busy_cluster))
+        assert "DOWN" in text

@@ -1,0 +1,208 @@
+"""Tests for YCSB workloads, Zipf generators, and drivers."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.driver import ClosedLoopDriver, DriverStats, merge_stats
+from repro.workloads.ycsb import WORKLOADS, YCSBWorkload, make_key, make_value
+from repro.workloads.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+)
+
+
+class TestZipf:
+    def test_range(self):
+        gen = ZipfianGenerator(100, 0.99)
+        for _ in range(1000):
+            assert 0 <= gen.next() < 100
+
+    def test_skew_concentrates_mass(self):
+        gen = ZipfianGenerator(1000, 0.99)
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        top_share = sum(count for _, count in counts.most_common(10)) / 20_000
+        assert top_share > 0.25
+
+    def test_low_skew_spreads_mass(self):
+        import random
+        hot = ZipfianGenerator(1000, 0.99, random.Random(1))
+        mild = ZipfianGenerator(1000, 0.10, random.Random(1))
+        hot_counts = collections.Counter(hot.next() for _ in range(20_000))
+        mild_counts = collections.Counter(mild.next() for _ in range(20_000))
+        assert (hot_counts.most_common(1)[0][1]
+                > 2 * mild_counts.most_common(1)[0][1])
+
+    def test_deterministic_with_seed(self):
+        import random
+        a = ZipfianGenerator(500, 0.9, random.Random(7))
+        b = ZipfianGenerator(500, 0.9, random.Random(7))
+        assert [a.next() for _ in range(100)] == [b.next() for _ in range(100)]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ZipfianGenerator(0, 0.9)
+        with pytest.raises(ValueError):
+            ZipfianGenerator(10, 1.0)
+
+    def test_scrambled_spreads_hot_keys(self):
+        """The scrambled variant keeps Zipf popularity but moves the
+        hot items away from ids 0,1,2..."""
+        import random
+        gen = ScrambledZipfianGenerator(10_000, 0.99, random.Random(3))
+        counts = collections.Counter(gen.next() for _ in range(20_000))
+        hottest = counts.most_common(3)
+        assert all(item > 100 for item, _count in hottest)
+
+    def test_fnv_hash_stable(self):
+        assert fnv1a_64(12345) == fnv1a_64(12345)
+        assert fnv1a_64(1) != fnv1a_64(2)
+
+    def test_latest_tracks_inserts(self):
+        import random
+        gen = LatestGenerator(100, 0.99, random.Random(5))
+        assert gen.max_id == 99
+        gen.advance()
+        assert gen.max_id == 100
+        draws = [gen.next() for _ in range(2000)]
+        assert all(0 <= d <= 100 for d in draws)
+        # Skewed toward the newest records.
+        recent_share = sum(1 for d in draws if d > 80) / len(draws)
+        assert recent_share > 0.5
+
+    def test_uniform(self):
+        import random
+        gen = UniformGenerator(50, random.Random(2))
+        counts = collections.Counter(gen.next() for _ in range(10_000))
+        assert len(counts) == 50
+        assert max(counts.values()) < 3 * min(counts.values())
+
+
+class TestYCSBMixes:
+    @pytest.mark.parametrize("name,read_frac", [
+        ("A", 0.50), ("B", 0.95), ("C", 1.00), ("F", 0.50), ("WR", 0.0)])
+    def test_mix_ratios(self, name, read_frac):
+        workload = YCSBWorkload(name, 500, value_size=64, seed=11)
+        ops = [workload.next_operation() for _ in range(4000)]
+        reads = sum(1 for op in ops if op.op == "get")
+        assert reads / len(ops) == pytest.approx(read_frac, abs=0.03)
+
+    def test_workload_d_inserts_extend_keyspace(self):
+        workload = YCSBWorkload("D", 100, value_size=32, seed=3)
+        inserts = [op for op in workload.operations(1000) if op.is_insert]
+        assert inserts
+        # Insert keys go beyond the loaded range.
+        assert all(int(op.key[4:]) >= 100 for op in inserts)
+
+    def test_f_mix_has_rmw(self):
+        workload = YCSBWorkload("F", 100, value_size=32, seed=3)
+        ops = list(workload.operations(500))
+        assert any(op.op == "rmw" for op in ops)
+
+    def test_value_sizes_exact(self):
+        for size in (64, 256, 1024):
+            workload = YCSBWorkload("WR", 10, value_size=size, seed=1)
+            op = workload.next_operation()
+            assert len(op.value) == size
+
+    def test_load_pairs(self):
+        workload = YCSBWorkload("A", 25, value_size=100, seed=4)
+        pairs = list(workload.load_pairs())
+        assert len(pairs) == 25
+        assert all(len(value) == 100 for _key, value in pairs)
+        assert len({key for key, _ in pairs}) == 25
+
+    def test_key_prefix_namespacing(self):
+        w1 = YCSBWorkload("A", 10, seed=1, key_prefix="left")
+        w2 = YCSBWorkload("A", 10, seed=1, key_prefix="right")
+        assert w1.next_operation().key.startswith(b"left")
+        assert w2.next_operation().key.startswith(b"right")
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            YCSBWorkload("Z", 10)
+
+    def test_all_defined_workloads_spec_sums(self):
+        for spec in WORKLOADS.values():
+            total = (spec.read_fraction + spec.update_fraction
+                     + spec.insert_fraction + spec.rmw_fraction)
+            assert total == pytest.approx(1.0)
+
+
+class TestDrivers:
+    class EchoClient:
+        """Minimal client: fixed-latency ops against a dict."""
+
+        def __init__(self, sim, latency_us=10.0):
+            self.sim = sim
+            self.latency_us = latency_us
+            self.data = {}
+
+        def get(self, key):
+            yield self.sim.timeout(self.latency_us)
+            from repro.core.datastore import OpResult
+            if key in self.data:
+                return OpResult("ok", value=self.data[key])
+            return OpResult("not_found")
+
+        def put(self, key, value):
+            yield self.sim.timeout(self.latency_us)
+            from repro.core.datastore import OpResult
+            self.data[key] = value
+            return OpResult("ok")
+
+        def delete(self, key):
+            yield self.sim.timeout(self.latency_us)
+            from repro.core.datastore import OpResult
+            return OpResult("ok")
+
+    def test_closed_loop_completes_exact_ops(self, sim):
+        client = self.EchoClient(sim)
+        workload = YCSBWorkload("A", 100, value_size=16, seed=1)
+        driver = ClosedLoopDriver(sim, client, workload, num_ops=50,
+                                  concurrency=4)
+        stats = sim.run(until=sim.process(driver.run()))
+        assert stats.completed >= 50  # rmw counts once, inserts once
+
+    def test_closed_loop_throughput_scales_with_concurrency(self, sim):
+        results = {}
+        for concurrency in (1, 8):
+            sim2 = type(sim)()
+            client = self.EchoClient(sim2, latency_us=100.0)
+            workload = YCSBWorkload("C", 100, value_size=16, seed=1)
+            driver = ClosedLoopDriver(sim2, client, workload, num_ops=64,
+                                      concurrency=concurrency)
+            stats = sim2.run(until=sim2.process(driver.run()))
+            results[concurrency] = stats.throughput_qps
+        assert results[8] > 5 * results[1]
+
+    def test_latency_percentiles_ordered(self, sim):
+        client = self.EchoClient(sim)
+        workload = YCSBWorkload("B", 50, value_size=16, seed=2)
+        driver = ClosedLoopDriver(sim, client, workload, num_ops=100,
+                                  concurrency=4)
+        stats = sim.run(until=sim.process(driver.run()))
+        assert (stats.percentile_us(0.5) <= stats.percentile_us(0.99)
+                <= stats.percentile_us(0.999))
+
+    def test_merge_stats(self):
+        a = DriverStats(completed=10, failed=1, started_at_us=0,
+                        finished_at_us=100)
+        a.latencies_us = [1.0] * 10
+        b = DriverStats(completed=20, failed=0, started_at_us=50,
+                        finished_at_us=250)
+        b.latencies_us = [2.0] * 20
+        merged = merge_stats([a, b])
+        assert merged.completed == 30
+        assert merged.failed == 1
+        assert merged.elapsed_us == 250
+        assert len(merged.latencies_us) == 30
+
+    def test_make_key_format(self):
+        assert make_key(7) == b"user000000000007"
+        assert make_key(7, "k") == b"k000000000007"
