@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.core.analysis import FAWN_INDEX_BYTES_PER_OBJECT
 from repro.core.circular_log import CircularLog, LogFullError, LogRangeError
 from repro.core.datastore import NOT_FOUND, OK, STORE_FULL, OpResult
 from repro.core.segment import (
@@ -33,10 +34,6 @@ from repro.hw.dram import Dram, OutOfMemoryError
 from repro.hw.ssd import NVMeSSD
 from repro.sim.core import Simulator
 from repro.sim.resources import Resource
-
-#: DRAM bytes per indexed object: 15-bit fragment + valid bit + 4 B
-#: pointer (FAWN §3.1 via LEED §2.3).
-FAWN_INDEX_BYTES_PER_OBJECT = 6
 
 
 @dataclass

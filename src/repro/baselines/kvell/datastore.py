@@ -27,17 +27,12 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, Optional
 
 from repro.baselines.kvell.btree import BTree
+from repro.core.analysis import KVELL_DRAM_BYTES_PER_OBJECT
 from repro.core.datastore import NOT_FOUND, OK, STORE_FULL, OpResult
 from repro.hw.cpu import CYCLE_COSTS, Core
 from repro.hw.dram import Dram, OutOfMemoryError
 from repro.hw.ssd import NVMeSSD
 from repro.sim.core import Simulator
-
-#: Modeled DRAM per indexed object: B-tree entry (key prefix +
-#: pointers + node amortization) ~48 B, plus ~8 B of free-list and
-#: page-table metadata — calibrated to KVell-JBOF's 33 GB usable
-#: space for 256 B objects on an 8 GB-DRAM Stingray (Table 3).
-KVELL_DRAM_BYTES_PER_OBJECT = 56
 
 #: Fixed page-cache reservation per store (KVell keeps a page cache
 #: regardless of object count).

@@ -9,14 +9,13 @@ two accesses overlap.
 
 from __future__ import annotations
 
-import random
-
 from repro.bench.harness import (
     QUICK,
     ExperimentResult,
     build_single_store,
     preload_store,
 )
+from repro.sim.rng import derive_stream
 from repro.workloads.ycsb import make_key, make_value
 
 
@@ -31,7 +30,7 @@ def run(scale: str = QUICK) -> ExperimentResult:
     for value_size in (1024, 256):
         single = build_single_store("leed", value_size=value_size, seed=11)
         preload_store(single, num_records, value_size)
-        rng = random.Random(99)
+        rng = derive_stream(99, "bench.fig11")
         sums = {op: [0.0, 0.0, 0.0, 0] for op in ("GET", "PUT", "DEL")}
 
         def bench():

@@ -27,7 +27,7 @@ from repro.core.jbof import LeedOptions
 from repro.hw.platforms import RASPBERRY_PI, SERVER_JBOF, STINGRAY
 from repro.hw.ssd import SSDProfile
 from repro.sim.core import Simulator
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derive_stream
 from repro.hw.ssd import NVMeSSD
 from repro.hw.cpu import Core
 from repro.workloads.driver import ClosedLoopDriver, DriverStats, OpenLoopDriver
@@ -297,8 +297,7 @@ def build_single_store(system: str, value_size: int = 1024,
 def preload_store(single: SingleStore, num_records: int, value_size: int,
                   key_prefix: str = "user", seed: int = 7) -> None:
     """Synchronously fill a bare store with records."""
-    import random
-    rng = random.Random(seed)
+    rng = derive_stream(seed, "bench.preload")
 
     def loader():
         for record_id in range(num_records):

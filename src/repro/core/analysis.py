@@ -13,8 +13,6 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro.baselines.fawn.datastore import FAWN_INDEX_BYTES_PER_OBJECT
-from repro.baselines.kvell.datastore import KVELL_DRAM_BYTES_PER_OBJECT
 from repro.core.segment import BUCKET_HEADER, KEY_ITEM_HEADER, VALUE_ENTRY_HEADER
 from repro.core.segtbl import SEGTBL_ENTRY_BYTES
 from repro.hw.platforms import (
@@ -26,6 +24,17 @@ from repro.hw.platforms import (
 
 #: DRAM the OS, network stack, and buffers take before indexes (bytes).
 SYSTEM_DRAM_RESERVE = 1 << 30
+
+#: FAWN DRAM bytes per indexed object: 15-bit fragment + valid bit +
+#: 4 B pointer (FAWN §3.1 via LEED §2.3).  Defined here with the
+#: capacity math; the FAWN baseline datastore imports it.
+FAWN_INDEX_BYTES_PER_OBJECT = 6
+
+#: KVell modeled DRAM per indexed object: B-tree entry (key prefix +
+#: pointers + node amortization) ~48 B, plus ~8 B of free-list and
+#: page-table metadata — calibrated to KVell-JBOF's 33 GB usable
+#: space for 256 B objects on an 8 GB-DRAM Stingray (Table 3).
+KVELL_DRAM_BYTES_PER_OBJECT = 56
 
 
 @dataclass

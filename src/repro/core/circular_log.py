@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.hw.ssd import NVMeSSD
+from repro.sim.events import Event
 
 
 class LogFullError(Exception):
@@ -65,6 +66,19 @@ class CircularLog:
         # bytes; a block image is dropped once no writer needs it.
         self._staged: Dict[int, bytearray] = {}
         self._stage_refs: Dict[int, int] = {}
+        # Group-commit flush state.  The device applies data at I/O
+        # *completion*, and completions reorder under jitter, so two
+        # outstanding flushes of one block could land oldest-last and
+        # revert the newer writer's bytes.  A single flusher process
+        # per log keeps same-block writes ordered; batching (one
+        # device write covers every byte merged before it was issued)
+        # keeps concurrent writers fast — the append-buffer group
+        # commit a real SPDK-driven store performs.
+        self._generation = 0
+        self._dirty_gen: Dict[int, int] = {}
+        self._flushed_gen: Dict[int, int] = {}
+        self._flusher_active = False
+        self._flush_waiters: list = []
         self.appends = 0
         self.bytes_appended = 0
 
@@ -114,9 +128,22 @@ class CircularLog:
         """Generator: append whole blocks; returns the virtual offset.
 
         ``data`` is padded to a block multiple.  Wrap-around is split
-        into at most two device writes.
+        into at most two device writes.  When the tail is
+        block-aligned the new blocks are exclusively owned, so the
+        write bypasses the staging/group-commit path and runs in
+        parallel with other appends.
         """
         padded = self._pad_to_block(data)
+        if self.tail % self.block_size == 0:
+            if len(padded) > self.free_bytes:
+                raise LogFullError("%s: need %d bytes, %d free"
+                                   % (self.name, len(padded), self.free_bytes))
+            offset = self.tail
+            self.tail += len(padded)
+            yield from self._write_at(offset, padded)
+            self.appends += 1
+            self.bytes_appended += len(padded)
+            return offset
         offset = self.reserve(len(padded))
         yield from self.write_reserved(offset, padded)
         return offset
@@ -159,10 +186,20 @@ class CircularLog:
             lo = max(offset, block_start)
             hi = min(offset + len(data), block_start + self.block_size)
             image[lo - block_start:hi - block_start] = data[lo - offset:hi - offset]
-        # Flush the touched blocks (contiguous virtual range).
-        flush_offset = blocks[0] * self.block_size
-        flush_data = b"".join(bytes(self._staged[b]) for b in blocks)
-        yield from self._write_at(flush_offset, flush_data)
+        # Group commit: mark the touched blocks dirty and wait until
+        # the flusher has made this writer's generation durable.
+        self._generation += 1
+        generation = self._generation
+        for block in blocks:
+            self._dirty_gen[block] = generation
+        if not self._flusher_active:
+            self._flusher_active = True
+            self.sim.process(self._flush_loop(), name=self.name + ".flush")
+        while any(self._flushed_gen.get(block, 0) < generation
+                  for block in blocks):
+            waiter = Event(self.sim)
+            self._flush_waiters.append(waiter)
+            yield waiter
         # Release staging references; keep images other writers still need
         # and the current tail block (future appends extend it).
         tail_block = self.tail // self.block_size
@@ -172,9 +209,54 @@ class CircularLog:
                 del self._stage_refs[block]
                 if block != tail_block:
                     self._staged.pop(block, None)
+                    self._dirty_gen.pop(block, None)
+                    self._flushed_gen.pop(block, None)
         self.appends += 1
         self.bytes_appended += len(data)
         return offset
+
+    def _next_dirty_run(self):
+        """The lowest contiguous run of blocks still awaiting a flush."""
+        dirty = sorted(block for block, generation in self._dirty_gen.items()
+                       if self._flushed_gen.get(block, 0) < generation)
+        if not dirty:
+            return None
+        low = high = dirty[0]
+        for block in dirty[1:]:
+            if block != high + 1:
+                break
+            high = block
+        return low, high
+
+    def _flush_loop(self):
+        """Flusher process: one in-flight device write at a time.
+
+        Each iteration snapshots the current images of the lowest
+        dirty run — so the write carries every byte merged before it
+        was issued — and records the generations it captured once the
+        write completes.  Writers whose generation is covered resume;
+        bytes merged while the write was in flight stay dirty and are
+        picked up by the next iteration.
+        """
+        try:
+            while True:
+                run = self._next_dirty_run()
+                if run is None:
+                    break
+                low, high = run
+                captured = {block: self._dirty_gen[block]
+                            for block in range(low, high + 1)}
+                data = b"".join(bytes(self._staged[block])
+                                for block in range(low, high + 1))
+                yield from self._write_at(low * self.block_size, data)
+                for block, generation in captured.items():
+                    if self._flushed_gen.get(block, 0) < generation:
+                        self._flushed_gen[block] = generation
+                waiters, self._flush_waiters = self._flush_waiters, []
+                for waiter in waiters:
+                    waiter.succeed()
+        finally:
+            self._flusher_active = False
 
     def _pad_to_block(self, data: bytes) -> bytes:
         remainder = len(data) % self.block_size

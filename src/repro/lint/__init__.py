@@ -1,0 +1,29 @@
+"""simlint: simulation-safety static analysis for the reproduction.
+
+A discrete-event reproduction is only credible if a fixed seed yields
+a bit-for-bit identical run.  Three leak classes silently break that:
+ad-hoc RNG construction outside the named-stream registry, wall-clock
+reads inside simulation-visible code, and iteration over
+hash-randomized containers feeding scheduling decisions.  This
+package provides an AST rule engine (``repro.lint.engine``), the rule
+catalog SIM001-SIM005 (``repro.lint.rules``), a CLI
+(``python -m repro.lint``), and a runtime determinism verifier
+(``repro.lint.determinism``) that replays a seeded cluster workload
+and compares event-schedule digests.
+
+See ``docs/determinism.md`` for the rule catalog and suppression
+syntax.
+"""
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, LintReport, Rule, run, to_json, to_text
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "Rule",
+    "run",
+    "to_json",
+    "to_text",
+]

@@ -1,0 +1,48 @@
+"""Command-line front end for simlint.
+
+Usage::
+
+    python -m repro.lint [paths...] [--format text|json]
+    repro-lint src                      # console script
+    python -m repro.lint --list-rules
+
+Exit codes: 0 clean, 1 findings, 2 parse/read errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import run, to_json, to_text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Simulation-safety static analysis (rules "
+                    "SIM001-SIM005; see docs/determinism.md).")
+    parser.add_argument("paths", nargs="*",
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="report format")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    args = parser.parse_args(argv)
+
+    config = LintConfig()
+    if args.list_rules:
+        from repro.lint.rules import default_rules
+        for rule in default_rules(config):
+            print("%s  %s" % (rule.rule_id, rule.title))
+        return 0
+
+    report = run(args.paths or ["src"], config)
+    print(to_json(report) if args.format == "json" else to_text(report))
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""Configuration for the simlint rules.
+
+Everything path-like is matched against the *posix relative path* of
+the checked file (``repro/bench/__main__.py``), by suffix, so the
+config works no matter where the tree is checked out or which prefix
+the CLI was invoked with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+
+def _default_layers() -> Dict[str, FrozenSet[str]]:
+    """The import-layering DAG, bottom-up (SIM004).
+
+    Keys and values are two-component layer names (``repro.sim``).
+    A module in layer L may import from exactly ``layers[L]``.  The
+    substrate (``sim``) sits at the bottom; hardware, network, and
+    power models build on it without knowing about the store logic in
+    ``core``; workloads know the substrate only; ``bench``,
+    ``baselines``, and tooling sit on top.
+    """
+    sim = frozenset({"repro.sim"})
+    hw = sim | {"repro.hw"}
+    net = sim | {"repro.net"}
+    power = hw | {"repro.power"}
+    core = hw | net | power | {"repro.core", "repro.telemetry"}
+    workloads = sim | {"repro.workloads"}
+    top = core | workloads | {"repro.baselines"}
+    return {
+        "repro.sim": sim,
+        "repro.hw": hw,
+        "repro.net": net,
+        "repro.power": power,
+        "repro.telemetry": core,
+        "repro.core": core,
+        "repro.workloads": workloads,
+        "repro.baselines": top,
+        "repro.bench": top | {"repro.bench"},
+        "repro.lint": top | {"repro.bench", "repro.lint"},
+    }
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Tunable scope and allowlists for the rule catalog."""
+
+    #: Files allowed to touch the ``random`` module directly (SIM001).
+    #: The named-stream registry itself has to construct the streams.
+    rng_allow: Tuple[str, ...] = ("repro/sim/rng.py",)
+
+    #: Files allowed to read the wall clock (SIM002).  The benchmark
+    #: CLI reports wall time around whole experiments — outside the
+    #: simulated world.
+    wall_clock_allow: Tuple[str, ...] = ("repro/bench/__main__.py",)
+
+    #: Directories whose set iteration feeds scheduling/ordering
+    #: decisions and must be wrapped in ``sorted(...)`` (SIM003).
+    ordered_iteration_scopes: Tuple[str, ...] = ("repro/core/", "repro/net/")
+
+    #: Layer -> allowed imported layers (SIM004).
+    layers: Dict[str, FrozenSet[str]] = field(default_factory=_default_layers)
+
+    def allows(self, allow: Tuple[str, ...], relpath: str) -> bool:
+        """True when ``relpath`` matches an allowlist entry (by suffix)."""
+        return any(relpath.endswith(entry) for entry in allow)
+
+    def in_scope(self, scopes: Tuple[str, ...], relpath: str) -> bool:
+        """True when ``relpath`` lies under one of ``scopes``."""
+        return any(scope in relpath for scope in scopes)

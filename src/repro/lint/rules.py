@@ -1,0 +1,391 @@
+"""The simlint rule catalog (SIM001-SIM005).
+
+Each rule targets one class of reproducibility leak a discrete-event
+simulation cannot tolerate.  ``docs/determinism.md`` documents the
+catalog and the rationale in prose.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import Finding, ModuleSource, Rule
+
+#: Module-level names matching this are treated as intentional
+#: constants (registry tables such as ``WORKLOADS``) by SIM005.
+CONSTANT_NAME_RE = re.compile(r"^_{0,2}[A-Z][A-Z0-9_]*$")
+
+#: Wall-clock entry points (SIM002).
+WALL_CLOCK_CALLS = {
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+}
+WALL_CLOCK_SUFFIXES = (
+    "datetime.now", "datetime.utcnow", "datetime.today", "date.today",
+)
+WALL_CLOCK_FROM_TIME = {
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time",
+}
+
+#: Constructors of mutable containers (SIM005).
+MUTABLE_FACTORIES = {
+    "list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter",
+    "OrderedDict",
+}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class DirectRandomUse(Rule):
+    """SIM001: the ``random`` module is off limits outside the registry.
+
+    ``random.Random(seed)`` instances scattered through the tree make
+    every component's stream depend on every other's draw order.  All
+    randomness must come from ``RngRegistry.stream(name)`` or
+    ``derive_stream(seed, name)`` in :mod:`repro.sim.rng`.
+    """
+
+    rule_id = "SIM001"
+    title = "direct random-module use"
+
+    def check(self, source: ModuleSource) -> Iterator[Finding]:
+        if self.config.allows(self.config.rng_allow, source.relpath):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or \
+                            alias.name.startswith("random."):
+                        yield self.finding(
+                            source, node,
+                            "imports the random module directly; use "
+                            "RngRegistry.stream(name) or derive_stream "
+                            "from repro.sim.rng")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.finding(
+                        source, node,
+                        "imports from the random module directly; use "
+                        "named streams from repro.sim.rng")
+            elif isinstance(node, ast.Attribute):
+                if isinstance(node.value, ast.Name) and \
+                        node.value.id == "random":
+                    yield self.finding(
+                        source, node,
+                        "uses random.%s directly; draw from a named "
+                        "RngRegistry stream instead" % node.attr)
+
+
+class WallClockUse(Rule):
+    """SIM002: no wall-clock reads in simulation-visible code.
+
+    Simulated time is ``sim.now``; a ``time.time()`` anywhere in the
+    model couples results to the host machine.  The benchmark CLI's
+    wall-time reporting is allowlisted via config.
+    """
+
+    rule_id = "SIM002"
+    title = "wall-clock read"
+
+    def check(self, source: ModuleSource) -> Iterator[Finding]:
+        if self.config.allows(self.config.wall_clock_allow, source.relpath):
+            return
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name and (name in WALL_CLOCK_CALLS
+                             or name.endswith(WALL_CLOCK_SUFFIXES)):
+                    yield self.finding(
+                        source, node,
+                        "calls %s(); simulation code must use sim.now, "
+                        "not the wall clock" % name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time" and node.level == 0:
+                    for alias in node.names:
+                        if alias.name in WALL_CLOCK_FROM_TIME:
+                            yield self.finding(
+                                source, node,
+                                "imports %s from the time module; "
+                                "simulation code must use sim.now"
+                                % alias.name)
+
+
+class UnsortedSetIteration(Rule):
+    """SIM003: set iteration feeding order decisions must be sorted.
+
+    In the scoped directories (``core/``, ``net/``) the order in which
+    replicas, vnodes, or peers are visited reaches the event schedule;
+    iterating a ``set`` there is hash-order — randomized per process.
+    Wrap the iterable in ``sorted(...)``.
+    """
+
+    rule_id = "SIM003"
+    title = "unsorted set iteration"
+
+    def check(self, source: ModuleSource) -> Iterator[Finding]:
+        if not self.config.in_scope(self.config.ordered_iteration_scopes,
+                                    source.relpath):
+            return
+        # Attributes (``self._failed``) are assigned in one method and
+        # iterated in another, so they are tracked module-wide; bare
+        # names are tracked per function scope.  A name also assigned
+        # a non-set value anywhere in its scope (``gainers =
+        # sorted(set(gainers))``) is ambiguous and never flagged.
+        attr_names = self._collect_names(
+            ast.walk(source.tree), attributes=True)
+        yield from self._check_scope(source, source.tree, attr_names)
+
+    def _check_scope(self, source: ModuleSource, scope: ast.AST,
+                     attr_names: Set[str]) -> Iterator[Finding]:
+        nodes = list(self._scope_nodes(scope))
+        known = self._collect_names(nodes, attributes=False) | attr_names
+        for node in nodes:
+            iters: List[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name in ("list", "tuple", "enumerate") and node.args:
+                    iters.append(node.args[0])
+            for candidate in iters:
+                described = self._describe_set(candidate, known)
+                if described is not None:
+                    yield self.finding(
+                        source, candidate,
+                        "iterates over %s in hash order; wrap it in "
+                        "sorted(...) so scheduling decisions are "
+                        "reproducible" % described)
+        for nested in self._nested_functions(scope):
+            yield from self._check_scope(source, nested, attr_names)
+
+    @classmethod
+    def _scope_nodes(cls, scope: ast.AST) -> Iterator[ast.AST]:
+        """All descendants of ``scope`` in the same lexical scope."""
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            yield child
+            yield from cls._scope_nodes(child)
+
+    @classmethod
+    def _nested_functions(cls, scope: ast.AST) -> Iterator[ast.AST]:
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child
+            elif not isinstance(child, ast.Lambda):
+                yield from cls._nested_functions(child)
+
+    @staticmethod
+    def _value_is_set(value: Optional[ast.AST]) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call):
+            return _dotted(value.func) in ("set", "frozenset")
+        return False
+
+    @staticmethod
+    def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+        if annotation is None:
+            return False
+        base = annotation
+        if isinstance(base, ast.Subscript):
+            base = base.value
+        return _dotted(base) in ("set", "frozenset", "Set", "FrozenSet",
+                                 "MutableSet", "typing.Set",
+                                 "typing.FrozenSet", "typing.MutableSet")
+
+    @classmethod
+    def _collect_names(cls, nodes, attributes: bool) -> Set[str]:
+        """Names bound to sets, minus names with conflicting bindings.
+
+        ``attributes`` selects whether Attribute targets (``self.x``)
+        or bare Name targets are collected.
+        """
+        set_names: Set[str] = set()
+        other_names: Set[str] = set()
+
+        def record(target: ast.AST, value: Optional[ast.AST],
+                   annotation: Optional[ast.AST] = None) -> None:
+            if attributes != isinstance(target, ast.Attribute):
+                return
+            dotted = _dotted(target)
+            if dotted is None:
+                return
+            if cls._value_is_set(value) or cls._annotation_is_set(annotation):
+                set_names.add(dotted)
+            elif value is not None:
+                other_names.add(dotted)
+
+        for node in nodes:
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    record(target, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                record(node.target, node.value, node.annotation)
+        return set_names - other_names
+
+    def _describe_set(self, node: ast.AST,
+                      set_names: Set[str]) -> Optional[str]:
+        """A description of ``node`` when it is set-valued, else None."""
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name in ("set", "frozenset"):
+                return "%s(...)" % name
+            return None
+        dotted = _dotted(node)
+        if dotted is not None and dotted in set_names:
+            return "the set %r" % dotted
+        if isinstance(node, ast.BinOp) and \
+                isinstance(node.op, (ast.BitOr, ast.BitAnd,
+                                     ast.Sub, ast.BitXor)):
+            left = self._describe_set(node.left, set_names)
+            right = self._describe_set(node.right, set_names)
+            if left is not None or right is not None:
+                return "a set expression"
+        return None
+
+
+class ImportLayering(Rule):
+    """SIM004: the layering DAG is law.
+
+    The substrate (``sim``) must stay ignorant of everything above it,
+    and the device/network models (``hw``, ``net``) must never reach
+    into store logic (``core``).  The allowed-import map lives in
+    :class:`LintConfig`.
+    """
+
+    rule_id = "SIM004"
+    title = "import layering violation"
+
+    @staticmethod
+    def _layer(module: str) -> str:
+        return ".".join(module.split(".")[:2])
+
+    def check(self, source: ModuleSource) -> Iterator[Finding]:
+        if source.module is None:
+            return
+        layer = self._layer(source.module)
+        allowed = self.config.layers.get(layer)
+        if allowed is None:
+            return
+        for node in ast.walk(source.tree):
+            imported: List[str] = []
+            if isinstance(node, ast.Import):
+                imported = [alias.name for alias in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 \
+                    and node.module:
+                if node.module == "repro":
+                    # ``from repro import telemetry`` pulls in the
+                    # submodule, so resolve the layer per alias.
+                    imported = ["repro." + alias.name
+                                for alias in node.names]
+                else:
+                    imported = [node.module]
+            for target in imported:
+                if target != "repro" and not target.startswith("repro."):
+                    continue
+                target_layer = self._layer(target)
+                if target_layer not in allowed:
+                    yield self.finding(
+                        source, node,
+                        "%s (layer %s) must not import %s; allowed "
+                        "layers: %s" % (source.module, layer, target,
+                                        ", ".join(sorted(allowed))))
+
+
+class MutableSharedState(Rule):
+    """SIM005: no mutable defaults, no module-level mutable state.
+
+    A mutable default argument or a writable module-level container is
+    shared across every simulation instance in the process — state
+    leaks from one run into the next and the second run diverges.
+    Uppercase module-level names are treated as intentional constants.
+    """
+
+    rule_id = "SIM005"
+    title = "shared mutable state"
+
+    @staticmethod
+    def _mutable_value(node: Optional[ast.AST]) -> Optional[str]:
+        if isinstance(node, ast.List):
+            return "a list literal"
+        if isinstance(node, ast.Dict):
+            return "a dict literal"
+        if isinstance(node, ast.Set):
+            return "a set literal"
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            return "a comprehension"
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name in MUTABLE_FACTORIES:
+                return "%s(...)" % name
+        return None
+
+    def check(self, source: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defaults = list(node.args.defaults) + \
+                    [d for d in node.args.kw_defaults if d is not None]
+                for default in defaults:
+                    described = self._mutable_value(default)
+                    if described is not None:
+                        yield self.finding(
+                            source, default,
+                            "mutable default argument (%s) in %s(); "
+                            "default to None and construct inside the "
+                            "function" % (described, node.name))
+        for stmt in getattr(source.tree, "body", []):
+            targets: List[ast.AST] = []
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            described = self._mutable_value(value)
+            if described is None:
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if CONSTANT_NAME_RE.match(target.id):
+                    continue
+                if target.id.startswith("__") and target.id.endswith("__"):
+                    continue  # __all__ and friends are interpreter protocol
+                yield self.finding(
+                    source, stmt,
+                    "module-level mutable state %r (%s) is shared "
+                    "across simulation runs; move it into an instance "
+                    "or rename it as a constant" % (target.id, described))
+
+
+def default_rules(config: LintConfig) -> List[Rule]:
+    """The shipped rule catalog, in rule-id order."""
+    return [
+        DirectRandomUse(config),
+        WallClockUse(config),
+        UnsortedSetIteration(config),
+        ImportLayering(config),
+        MutableSharedState(config),
+    ]

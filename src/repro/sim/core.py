@@ -9,7 +9,9 @@ operations complete.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import struct
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.errors import StopSimulation
@@ -41,6 +43,8 @@ class Simulator:
         self._heap: list = []
         self._sequence = 0
         self._active_process: Optional[Process] = None
+        self._digest = None
+        self._digest_events = 0
 
     # -- inspection ---------------------------------------------------------
 
@@ -58,6 +62,28 @@ class Simulator:
     def pending_events(self) -> int:
         """Number of events still on the schedule heap."""
         return len(self._heap)
+
+    def enable_schedule_digest(self) -> None:
+        """Start hashing the event schedule (determinism verifier).
+
+        Every popped heap entry folds its
+        ``(time, priority, sequence, event-kind)`` into a running
+        SHA-256.  Two runs of the same seeded model must produce the
+        same digest; any divergence pinpoints nondeterminism in the
+        schedule itself rather than in derived metrics.
+        """
+        self._digest = hashlib.sha256()
+        self._digest_events = 0
+
+    @property
+    def schedule_digest(self) -> Optional[str]:
+        """Hex digest of the schedule so far, or None when disabled."""
+        return self._digest.hexdigest() if self._digest is not None else None
+
+    @property
+    def schedule_digest_events(self) -> int:
+        """Number of events folded into the schedule digest."""
+        return self._digest_events
 
     # -- event construction ---------------------------------------------------
 
@@ -100,10 +126,14 @@ class Simulator:
 
     def step(self) -> None:
         """Process the single next event.  Raises IndexError when empty."""
-        when, _priority, _seq, event = heapq.heappop(self._heap)
+        when, priority, sequence, event = heapq.heappop(self._heap)
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise RuntimeError("time went backwards: %r < %r" % (when, self._now))
         self._now = when
+        if self._digest is not None:
+            self._digest.update(struct.pack("<dqq", when, priority, sequence))
+            self._digest.update(type(event).__name__.encode("ascii"))
+            self._digest_events += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)

@@ -14,26 +14,42 @@ import hashlib
 import random
 from typing import Dict
 
+#: The stream type handed out by this module.  Components type their
+#: parameters against this alias instead of importing :mod:`random`
+#: themselves — the simlint SIM001 rule keeps direct ``random`` use
+#: confined to this module.
+RandomStream = random.Random
+
+
+def derive_stream(seed: int, name: str) -> RandomStream:
+    """One deterministic stream for ``(seed, name)``.
+
+    The standalone form of :meth:`RngRegistry.stream`, for components
+    that need a single named stream without carrying a registry.  The
+    same (seed, name) pair always yields the same sequence, and
+    distinct names yield statistically independent sequences.
+    """
+    digest = hashlib.sha256(
+        ("%d/%s" % (int(seed), name)).encode("utf-8")
+    ).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
 
 class RngRegistry:
     """Factory for reproducible per-purpose :class:`random.Random` streams."""
 
     def __init__(self, seed: int = 0):
         self.seed = int(seed)
-        self._streams: Dict[str, random.Random] = {}
+        self._streams: Dict[str, RandomStream] = {}
 
-    def stream(self, name: str) -> random.Random:
+    def stream(self, name: str) -> RandomStream:
         """The stream for ``name``, created on first use.
 
         The sub-seed is derived by hashing (master seed, name) so the
         mapping is stable across runs and insensitive to creation order.
         """
         if name not in self._streams:
-            digest = hashlib.sha256(
-                ("%d/%s" % (self.seed, name)).encode("utf-8")
-            ).digest()
-            sub_seed = int.from_bytes(digest[:8], "big")
-            self._streams[name] = random.Random(sub_seed)
+            self._streams[name] = derive_stream(self.seed, name)
         return self._streams[name]
 
     def fork(self, label: str) -> "RngRegistry":

@@ -15,11 +15,11 @@ front-end, a baseline client, or a bare data store.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.sim.core import Simulator
+from repro.sim.rng import derive_stream
 from repro.workloads.ycsb import Operation, YCSBWorkload
 
 
@@ -152,7 +152,7 @@ class OpenLoopDriver:
         self.rate_qps = rate_qps
         self.duration_us = duration_us
         self.max_inflight = max_inflight
-        self.rng = random.Random(seed)
+        self.rng = derive_stream(seed, "driver.openloop")
         self.stats = DriverStats(record_timeline=record_timeline)
         self.dropped = 0
         self._inflight = 0

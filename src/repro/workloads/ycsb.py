@@ -23,10 +23,10 @@ WR        100% update                            zipfian
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
+from repro.sim.rng import RandomStream, RngRegistry
 from repro.workloads.zipf import (
     LatestGenerator,
     ScrambledZipfianGenerator,
@@ -79,7 +79,7 @@ def make_key(record_id: int, prefix: str = "user") -> bytes:
     return ("%s%012d" % (prefix, record_id)).encode("ascii")
 
 
-def make_value(rng: random.Random, size: int) -> bytes:
+def make_value(rng: RandomStream, size: int) -> bytes:
     """A value of exactly ``size`` pseudo-random (compressible) bytes."""
     return bytes(rng.getrandbits(8) for _ in range(min(size, 16))) + \
         b"x" * max(size - 16, 0)
@@ -116,17 +116,17 @@ class YCSBWorkload:
         self.value_size = value_size
         self.skew = skew
         self.key_prefix = key_prefix
-        self.rng = random.Random(seed)
+        registry = RngRegistry(seed)
+        self.rng = registry.stream("ycsb.ops")
+        chooser_rng = registry.stream("ycsb.keys")
         dist = distribution or self.spec.distribution
         if dist == "zipfian":
             self._chooser = ScrambledZipfianGenerator(
-                num_records, skew, random.Random(seed + 1))
+                num_records, skew, chooser_rng)
         elif dist == "uniform":
-            self._chooser = UniformGenerator(num_records,
-                                             random.Random(seed + 1))
+            self._chooser = UniformGenerator(num_records, chooser_rng)
         elif dist == "latest":
-            self._latest = LatestGenerator(num_records, skew,
-                                           random.Random(seed + 1))
+            self._latest = LatestGenerator(num_records, skew, chooser_rng)
             self._chooser = self._latest
         else:
             raise ValueError("unknown distribution %r" % dist)

@@ -9,8 +9,9 @@ distribution used by YCSB-D (skew toward recently-inserted records).
 from __future__ import annotations
 
 import math
-import random
 from typing import Optional
+
+from repro.sim.rng import RandomStream, derive_stream
 
 FNV_OFFSET_BASIS_64 = 0xCBF29CE484222325
 FNV_PRIME_64 = 0x100000001B3
@@ -43,14 +44,14 @@ class ZipfianGenerator:
     _zeta_cache: dict = {}
 
     def __init__(self, n: int, theta: float = 0.99,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[RandomStream] = None):
         if n < 1:
             raise ValueError("need at least one item")
         if not 0.0 <= theta < 1.0:
             raise ValueError("theta must be in [0, 1), got %r" % theta)
         self.n = n
         self.theta = theta
-        self.rng = rng or random.Random()
+        self.rng = rng or derive_stream(0, "zipf.zipfian")
         cache_key = (n, round(theta, 6))
         if cache_key not in self._zeta_cache:
             self._zeta_cache[cache_key] = zeta(n, theta)
@@ -85,7 +86,7 @@ class ScrambledZipfianGenerator:
     """
 
     def __init__(self, n: int, theta: float = 0.99,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[RandomStream] = None):
         self.n = n
         self._zipf = ZipfianGenerator(n, theta, rng)
 
@@ -105,7 +106,7 @@ class LatestGenerator:
     """
 
     def __init__(self, initial_n: int, theta: float = 0.99,
-                 rng: Optional[random.Random] = None):
+                 rng: Optional[RandomStream] = None):
         self.max_id = max(initial_n - 1, 0)
         self._zipf = ZipfianGenerator(max(initial_n, 1), theta, rng)
 
@@ -122,11 +123,11 @@ class LatestGenerator:
 class UniformGenerator:
     """Uniform key choice over [0, n)."""
 
-    def __init__(self, n: int, rng: Optional[random.Random] = None):
+    def __init__(self, n: int, rng: Optional[RandomStream] = None):
         if n < 1:
             raise ValueError("need at least one item")
         self.n = n
-        self.rng = rng or random.Random()
+        self.rng = rng or derive_stream(0, "zipf.uniform")
 
     def next(self) -> int:
         return self.rng.randrange(self.n)

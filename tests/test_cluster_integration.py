@@ -83,9 +83,16 @@ class TestLinearizableHistory:
         cluster = leed_cluster()
         sim = cluster.sim
 
+        # Fixed seeds rather than hash(namespace): str/bytes hashes are
+        # randomized per process, which made this test nondeterministic.
+        # This seed pair once exposed a lost-update race between
+        # concurrent flushes of a shared value-log tail block, so it
+        # doubles as a regression test for CircularLog flush ordering.
+        seeds = {b"left": 261, b"right": 117}
+
         def workload(client, namespace):
             shadow = {}
-            rng = random.Random(hash(namespace) % 1000)
+            rng = random.Random(seeds[namespace])
             for step in range(150):
                 key = b"%s-%02d" % (namespace, rng.randrange(25))
                 if rng.random() < 0.5:

@@ -1,0 +1,330 @@
+"""simlint rule catalog, suppressions, CLI, and tree cleanliness.
+
+Each rule gets a positive fixture (must fire with the right rule ID),
+a clean fixture (must stay silent), and a suppression fixture.  The
+fixtures are written under ``tmp_path`` in a ``repro/<layer>/``
+layout so scope and layering resolution work exactly as on the real
+tree.
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import LintConfig, run, to_json, to_text
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_snippet(tmp_path, relpath, code):
+    """Write ``code`` at ``tmp_path/relpath`` and lint the tree."""
+    path = tmp_path / relpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return run([str(tmp_path)])
+
+
+def rules_hit(report):
+    return {finding.rule for finding in report.findings}
+
+
+class TestSIM001DirectRandomUse:
+    def test_import_random_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            import random
+
+            def jitter():
+                return random.random()
+            """)
+        assert "SIM001" in rules_hit(report)
+        assert report.exit_code == 1
+
+    def test_from_random_import_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/hw/bad.py", """\
+            from random import choice
+            """)
+        assert "SIM001" in rules_hit(report)
+
+    def test_named_stream_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            from repro.sim.rng import derive_stream
+
+            def jitter(seed):
+                return derive_stream(seed, "core.jitter").random()
+            """)
+        assert report.exit_code == 0
+
+    def test_rng_module_allowlisted(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/sim/rng.py", """\
+            import random
+
+            RandomStream = random.Random
+            """)
+        assert "SIM001" not in rules_hit(report)
+
+    def test_suppression(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            import random  # simlint: ignore[SIM001]
+            """)
+        assert report.exit_code == 0
+
+
+class TestSIM002WallClockUse:
+    def test_time_time_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            import time
+
+            def stamp():
+                return time.time()
+            """)
+        assert "SIM002" in rules_hit(report)
+
+    def test_datetime_now_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/net/bad.py", """\
+            import datetime
+
+            def stamp():
+                return datetime.datetime.now()
+            """)
+        assert "SIM002" in rules_hit(report)
+
+    def test_from_time_import_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/hw/bad.py", """\
+            from time import perf_counter
+            """)
+        assert "SIM002" in rules_hit(report)
+
+    def test_sim_clock_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            def stamp(sim):
+                return sim.now
+            """)
+        assert report.exit_code == 0
+
+    def test_bench_main_allowlisted(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/bench/__main__.py", """\
+            import time
+
+            def wall_elapsed(start):
+                return time.perf_counter() - start
+            """)
+        assert "SIM002" not in rules_hit(report)
+
+
+class TestSIM003UnsortedSetIteration:
+    def test_set_iteration_in_core_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            def fanout(replicas: set):
+                peers = {1, 2, 3}
+                for peer in peers:
+                    yield peer
+            """)
+        assert "SIM003" in rules_hit(report)
+
+    def test_attribute_set_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/net/bad.py", """\
+            class Switch:
+                def __init__(self):
+                    self.links = set()
+
+                def broadcast(self):
+                    return [link for link in self.links]
+            """)
+        assert "SIM003" in rules_hit(report)
+
+    def test_sorted_iteration_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            def fanout():
+                peers = {1, 2, 3}
+                for peer in sorted(peers):
+                    yield peer
+            """)
+        assert report.exit_code == 0
+
+    def test_out_of_scope_layer_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/workloads/ok.py", """\
+            def fanout():
+                peers = {1, 2, 3}
+                for peer in peers:
+                    yield peer
+            """)
+        assert "SIM003" not in rules_hit(report)
+
+    def test_rebound_name_not_flagged(self, tmp_path):
+        # Flow-sensitivity regression: a name that is later rebound to
+        # a sorted list (the membership.py `gainers` idiom) must not
+        # be reported at its post-rebinding loop.
+        report = lint_snippet(tmp_path, "repro/core/ok.py", """\
+            def plan(gainers):
+                gainers = set(gainers)
+                gainers = sorted(gainers)
+                for node in gainers:
+                    yield node
+            """)
+        assert "SIM003" not in rules_hit(report)
+
+    def test_suppression(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            def any_one(peers: set):
+                peers = {1, 2}
+                for peer in peers:  # simlint: ignore[SIM003]
+                    return peer
+            """)
+        assert report.exit_code == 0
+
+
+class TestSIM004ImportLayering:
+    def test_hw_importing_core_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/hw/bad.py", """\
+            from repro.core.datastore import StoreConfig
+            """)
+        assert "SIM004" in rules_hit(report)
+
+    def test_sim_importing_anything_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/sim/bad.py", """\
+            import repro.net.topology
+            """)
+        assert "SIM004" in rules_hit(report)
+
+    def test_from_repro_import_resolved(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/net/bad.py", """\
+            from repro import telemetry
+            """)
+        assert "SIM004" in rules_hit(report)
+
+    def test_downward_import_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            from repro.hw.ssd import NVMeSSD
+            from repro.sim.core import Simulator
+            """)
+        assert report.exit_code == 0
+
+    def test_suppression(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/hw/bad.py", """\
+            from repro.core.datastore import StoreConfig  # simlint: ignore[SIM004]
+            """)
+        assert report.exit_code == 0
+
+
+class TestSIM005MutableSharedState:
+    def test_mutable_default_arg_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            def collect(key, acc=[]):
+                acc.append(key)
+                return acc
+            """)
+        assert "SIM005" in rules_hit(report)
+
+    def test_module_level_mutable_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/net/bad.py", """\
+            pending = {}
+            """)
+        assert "SIM005" in rules_hit(report)
+
+    def test_uppercase_constant_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            DEFAULT_SIZES = (64, 128, 256)
+            _CACHE_LINE = 64
+            """)
+        assert report.exit_code == 0
+
+    def test_dunder_all_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/__init__.py", """\
+            __all__ = ["LeedCluster"]
+            """)
+        assert report.exit_code == 0
+
+    def test_none_default_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            def collect(key, acc=None):
+                acc = acc if acc is not None else []
+                acc.append(key)
+                return acc
+            """)
+        assert report.exit_code == 0
+
+    def test_suppression(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            registry = {}  # simlint: ignore[SIM005]
+            """)
+        assert report.exit_code == 0
+
+
+class TestSuppressions:
+    def test_bare_ignore_covers_all_rules(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            import random  # simlint: ignore
+            """)
+        assert report.exit_code == 0
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            import random  # simlint: ignore[SIM005]
+            """)
+        assert "SIM001" in rules_hit(report)
+
+
+class TestReports:
+    def test_text_format_carries_location_and_rule(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            import random
+            """)
+        text = to_text(report)
+        assert "SIM001" in text
+        assert "bad.py:1:" in text
+        assert "1 finding" in text
+
+    def test_json_format_round_trips(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            import random
+            import time
+
+            boot = time.time()
+            """)
+        payload = json.loads(to_json(report))
+        assert payload["exit_code"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"SIM001", "SIM002"}
+        assert all(f["line"] >= 1 for f in payload["findings"])
+
+    def test_syntax_error_reported_as_error(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/broken.py", """\
+            def oops(:
+            """)
+        assert report.exit_code == 2
+        assert report.errors
+
+
+class TestShippedTree:
+    def test_src_is_lint_clean(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+    def test_cli_json_on_seeded_violation(self, tmp_path):
+        bad = tmp_path / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n", encoding="utf-8")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path),
+             "--format", "json"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["findings"][0]["rule"] == "SIM001"
+
+    def test_list_rules(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--list-rules"],
+            cwd=REPO_ROOT, capture_output=True, text=True,
+            env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
+        assert proc.returncode == 0
+        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+            assert rule_id in proc.stdout
