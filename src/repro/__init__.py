@@ -37,7 +37,9 @@ from repro.core.hashring import HashRing, VNode
 from repro.core.io_engine import KVCommand, PartitionIOEngine
 from repro.core.jbof import JBOFNode, LeedOptions
 from repro.core.membership import ControlPlane
+from repro.core.protocol import ReadPolicy
 from repro.core.recovery import RecoveryReport, recover_store
+from repro.obs import LatencyHistogram, MetricsRegistry, Tracer
 from repro.telemetry import render as render_telemetry
 from repro.telemetry import snapshot as snapshot_telemetry
 from repro.hw.platforms import RASPBERRY_PI, SERVER_JBOF, STINGRAY
@@ -59,6 +61,10 @@ __all__ = [
     "JBOFNode",
     "LeedOptions",
     "ControlPlane",
+    "ReadPolicy",
+    "Tracer",
+    "LatencyHistogram",
+    "MetricsRegistry",
     "recover_store",
     "RecoveryReport",
     "snapshot_telemetry",

@@ -35,6 +35,7 @@ from repro.core.cluster import ClusterConfig, LeedCluster
 from repro.core.datastore import StoreConfig
 from repro.core.io_engine import PartitionIOEngine
 from repro.core.jbof import JBOFNode, LeedOptions, VNodeRuntime
+from repro.core.protocol import ReadPolicy
 from repro.hw.platforms import RASPBERRY_PI, SERVER_JBOF, STINGRAY, PlatformSpec
 from repro.hw.ssd import NVMeSSD
 from repro.net.topology import NIC_1G_USB, NIC_100G
@@ -151,8 +152,8 @@ def make_cluster(system: str = "leed", platform: str = "auto",
         options=options,
         flow_control=(system == "leed"),
         crrs=(system == "leed"),
-        read_policy={"leed": "crrs", "fawn": "tail",
-                     "kvell": "any"}[system],
+        read_policy={"leed": ReadPolicy.CRRS, "fawn": ReadPolicy.TAIL,
+                     "kvell": ReadPolicy.ANY}[system],
         seed=seed,
         nic_profile=nic,
         node_class=node_class,

@@ -24,6 +24,7 @@ from repro.baselines.kvell.datastore import KVellConfig, KVellDataStore
 from repro.core.cluster import LeedCluster
 from repro.core.datastore import LeedDataStore, StoreConfig
 from repro.core.jbof import LeedOptions
+from repro.core.protocol import ReadPolicy
 from repro.hw.platforms import RASPBERRY_PI, SERVER_JBOF, STINGRAY
 from repro.hw.ssd import SSDProfile
 from repro.sim.core import Simulator
@@ -175,7 +176,7 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
     if crrs is not None:
         for client in cluster.clients:
             client.crrs = crrs
-            client.read_policy = "crrs" if crrs else "tail"
+            client.read_policy = ReadPolicy.CRRS if crrs else ReadPolicy.TAIL
     return cluster
 
 
@@ -223,6 +224,17 @@ def run_open_loop(cluster: LeedCluster, workload: YCSBWorkload,
     for driver in drivers[1:]:
         stats = stats.merge(driver.stats)
     return stats
+
+
+def latency_summary(cluster: LeedCluster, label: str = "bench") -> list:
+    """BENCH_*.json-ready latency rows from the cluster's histograms.
+
+    One row per registered client histogram, with ``count`` /
+    ``mean_us`` / ``p50_us`` / ``p95_us`` / ``p99_us`` / ``p999_us``
+    columns — the digest-friendly replacement for dumping raw latency
+    lists.
+    """
+    return cluster.metrics.bench_records(label)
 
 
 # -- single-store (no network) harness: Table 3, Figs 11-13 ----------------------------------

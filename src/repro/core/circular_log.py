@@ -124,7 +124,7 @@ class CircularLog:
             self._stage_refs[block] = self._stage_refs.get(block, 0) + 1
         return offset
 
-    def append_blocks(self, data: bytes):
+    def append_blocks(self, data: bytes, trace=None):
         """Generator: append whole blocks; returns the virtual offset.
 
         ``data`` is padded to a block multiple.  Wrap-around is split
@@ -140,15 +140,15 @@ class CircularLog:
                                    % (self.name, len(padded), self.free_bytes))
             offset = self.tail
             self.tail += len(padded)
-            yield from self._write_at(offset, padded)
+            yield from self._write_at(offset, padded, trace)
             self.appends += 1
             self.bytes_appended += len(padded)
             return offset
         offset = self.reserve(len(padded))
-        yield from self.write_reserved(offset, padded)
+        yield from self.write_reserved(offset, padded, trace)
         return offset
 
-    def append_bytes(self, data: bytes):
+    def append_bytes(self, data: bytes, trace=None):
         """Generator: byte-granular append.
 
         Only the device blocks touched by this entry are (re)written —
@@ -156,18 +156,25 @@ class CircularLog:
         per PUT value (§3.3).  Returns the virtual offset.
         """
         offset = self.reserve(len(data))
-        yield from self.write_reserved(offset, data)
+        yield from self.write_reserved(offset, data, trace)
         return offset
 
-    def write_reserved(self, offset: int, data: bytes):
+    def write_reserved(self, offset: int, data: bytes, trace=None):
         """Generator: fill a range previously claimed with :meth:`reserve`.
 
         The data is merged into DRAM block images synchronously, then
         the touched blocks are flushed to the device, so interleaved
-        writers sharing a block never lose updates.
+        writers sharing a block never lose updates.  ``trace`` records
+        a ``log.commit`` device-phase span over the group-commit wait
+        (the flusher's device write is shared across writers, so this
+        span is the per-request attribution of commit time).
         """
         if offset + len(data) > self.tail:
             raise LogRangeError("writing past tail of %s" % self.name)
+        ctx = None
+        if trace is not None:
+            ctx = trace.child("log.commit", cat="device",
+                              args={"log": self.name, "bytes": len(data)})
         blocks = list(self._touched_blocks(offset, len(data)))
         # Synchronous merge into staged block images.  A block staged
         # for the first time starts from its on-flash content, not
@@ -211,6 +218,8 @@ class CircularLog:
                     self._staged.pop(block, None)
                     self._dirty_gen.pop(block, None)
                     self._flushed_gen.pop(block, None)
+        if ctx is not None:
+            ctx.finish()
         self.appends += 1
         self.bytes_appended += len(data)
         return offset
@@ -264,18 +273,19 @@ class CircularLog:
             return bytes(data) + b"\x00" * (self.block_size - remainder)
         return bytes(data)
 
-    def _write_at(self, virtual_offset: int, data: bytes):
+    def _write_at(self, virtual_offset: int, data: bytes, trace=None):
         """Device write(s) with wrap-around splitting."""
         start_physical = virtual_offset % self.size
         first_len = min(len(data), self.size - start_physical)
         yield from self.ssd.write(self.region_offset + start_physical,
-                                  data[:first_len])
+                                  data[:first_len], trace=trace)
         if first_len < len(data):
-            yield from self.ssd.write(self.region_offset, data[first_len:])
+            yield from self.ssd.write(self.region_offset, data[first_len:],
+                                      trace=trace)
 
     # -- reads --------------------------------------------------------------------
 
-    def read(self, virtual_offset: int, length: int):
+    def read(self, virtual_offset: int, length: int, trace=None):
         """Generator: read ``length`` bytes at a virtual offset.
 
         Bytes still staged in DRAM (tail block not yet flushed by a
@@ -289,10 +299,10 @@ class CircularLog:
         start_physical = virtual_offset % self.size
         first_len = min(length, self.size - start_physical)
         data = yield from self.ssd.read(self.region_offset + start_physical,
-                                        first_len)
+                                        first_len, trace=trace)
         if first_len < length:
             rest = yield from self.ssd.read(self.region_offset,
-                                            length - first_len)
+                                            length - first_len, trace=trace)
             data += rest
         # Overlay staged bytes for blocks that are still in DRAM.
         if self._staged:

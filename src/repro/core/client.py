@@ -14,6 +14,7 @@ Co-located with each application client, the front-end:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -30,11 +31,18 @@ from repro.core.protocol import (
     KVReply,
     KVRequest,
     MembershipUpdate,
+    ReadPolicy,
 )
 from repro.net.rpc import RpcEndpoint, RpcError, RpcTimeout
 from repro.net.topology import Network, NicProfile
+from repro.obs.hist import LatencyHistogram
 from repro.sim.core import Simulator
 from repro.sim.events import Event
+
+#: Cap on the deprecated raw latency list kept by :class:`ClientStats`.
+#: The histogram is the unbounded-safe record; the raw list survives
+#: (truncated) for one release so external consumers can migrate.
+LATENCY_LIST_CAP = 65536
 
 
 @dataclass
@@ -54,7 +62,14 @@ class ClientResult:
 
 @dataclass
 class ClientStats:
-    """Cumulative front-end statistics."""
+    """Cumulative front-end statistics.
+
+    Latencies are recorded into a fixed-size log-scale
+    :class:`~repro.obs.hist.LatencyHistogram`; ``latencies_us`` is the
+    **deprecated** raw list — it is capped at :data:`LATENCY_LIST_CAP`
+    samples (it used to grow without bound) and will be removed; read
+    ``histogram`` instead.
+    """
 
     operations: int = 0
     ok: int = 0
@@ -64,7 +79,10 @@ class ClientStats:
     nacks: int = 0
     timeouts: int = 0
     overloads: int = 0
+    #: Deprecated: capped raw sample list (see class docstring).
     latencies_us: List[float] = field(default_factory=list)
+    histogram: LatencyHistogram = field(default_factory=LatencyHistogram)
+    _cap_warned: bool = field(default=False, repr=False)
 
     def record(self, result: ClientResult) -> None:
         """Fold one finished operation into the counters."""
@@ -76,21 +94,28 @@ class ClientStats:
             self.not_found += 1
         else:
             self.failures += 1
-        self.latencies_us.append(result.latency_us)
+        self.histogram.record(result.latency_us)
+        if len(self.latencies_us) < LATENCY_LIST_CAP:
+            self.latencies_us.append(result.latency_us)
+        elif not self._cap_warned:
+            self._cap_warned = True
+            warnings.warn(
+                "ClientStats.latencies_us is deprecated and capped at "
+                "%d samples; read ClientStats.histogram instead"
+                % LATENCY_LIST_CAP, DeprecationWarning, stacklevel=2)
 
     def mean_latency_us(self) -> float:
         """Average end-to-end latency over recorded operations."""
-        if not self.latencies_us:
-            return 0.0
-        return sum(self.latencies_us) / len(self.latencies_us)
+        return self.histogram.mean_us()
 
     def percentile_latency_us(self, quantile: float) -> float:
-        """Latency at ``quantile`` (e.g. 0.999 for the p99.9 tail)."""
-        if not self.latencies_us:
-            return 0.0
-        ordered = sorted(self.latencies_us)
-        index = min(int(quantile * len(ordered)), len(ordered) - 1)
-        return ordered[index]
+        """Latency at ``quantile`` (e.g. 0.999 for the p99.9 tail).
+
+        Served from the histogram: the value is the bucket midpoint,
+        within one log-scale bucket width (~19%) of the exact sample
+        quantile.
+        """
+        return self.histogram.percentile(quantile)
 
 
 class FrontEndClient:
@@ -99,22 +124,31 @@ class FrontEndClient:
     def __init__(self, sim: Simulator, network: Network, address: str,
                  control_plane_address: str = "controlplane",
                  flow_control: bool = True, crrs: bool = True,
-                 read_policy: Optional[str] = None,
+                 read_policy: Optional[ReadPolicy] = None,
                  request_timeout_us: float = 100_000.0,
                  max_retries: int = 6, tenant: Optional[str] = None,
-                 nic_profile: Optional[NicProfile] = None):
+                 nic_profile: Optional[NicProfile] = None,
+                 tracer: Optional[object] = None,
+                 trace_sample_interval: int = 0):
         self.sim = sim
         self.address = address
         self.control_plane_address = control_plane_address
         self.crrs = crrs
-        #: Replica choice for GETs: "crrs" = most tokens (LEED §3.7),
-        #: "tail" = classic chain replication (FAWN), "any" = round
-        #: robin over replicas (a sharded KVell deployment).
-        self.read_policy = read_policy or ("crrs" if crrs else "tail")
+        #: Replica choice for GETs (:class:`ReadPolicy`): CRRS = most
+        #: tokens (LEED §3.7), TAIL = classic chain replication (FAWN),
+        #: ANY = round robin over replicas (a sharded KVell deployment).
+        #: Bare strings are coerced for one release (deprecated).
+        self.read_policy = (ReadPolicy.coerce(read_policy)
+                            or (ReadPolicy.CRRS if crrs else ReadPolicy.TAIL))
         self._read_rr = 0
         self.request_timeout_us = request_timeout_us
         self.max_retries = max_retries
         self.tenant = tenant or address
+        #: Tracing: a :class:`repro.obs.Tracer` plus the sampling
+        #: interval — every Nth operation gets a trace; 0 disables.
+        self.tracer = tracer
+        self.trace_sample_interval = trace_sample_interval
+        self._trace_seq = 0
         network.attach(address, nic_profile)
         self.rpc = RpcEndpoint(sim, network, address)
         self.flow = FlowController(sim, enabled=flow_control,
@@ -166,11 +200,12 @@ class FrontEndClient:
             if self.vnode_states.get(vnode.vnode_id, RUNNING) == RUNNING]
         if not candidates:
             return len(chain) - 1, chain[-1]
-        policy = self.read_policy if not self.crrs else "crrs"
-        if policy == "crrs":
+        policy = ReadPolicy.CRRS if self.crrs else ReadPolicy.coerce(
+            self.read_policy)
+        if policy == ReadPolicy.CRRS:
             return max(candidates,
                        key=lambda hv: self.flow.view(hv[1].vnode_id).tokens)
-        if policy == "any":
+        if policy == ReadPolicy.ANY:
             self._read_rr += 1
             return candidates[self._read_rr % len(candidates)]
         # Plain chain replication: reads at the tail only.
@@ -190,7 +225,26 @@ class FrontEndClient:
         """Generator: DEL ``key``."""
         return (yield from self._operate("del", key, None))
 
+    def _begin_trace(self, op: str):
+        """Root trace context for this operation, or None (sampling)."""
+        if self.tracer is None or self.trace_sample_interval <= 0:
+            return None
+        sequence = self._trace_seq
+        self._trace_seq += 1
+        if sequence % self.trace_sample_interval:
+            return None
+        return self.tracer.trace("client." + op, track=self.address,
+                                 cat="client")
+
     def _operate(self, op: str, key: bytes, value: Optional[bytes]):
+        ctx = self._begin_trace(op)
+        result = yield from self._operate_body(op, key, value, ctx)
+        if ctx is not None:
+            ctx.finish({"status": result.status, "retries": result.retries})
+        return result
+
+    def _operate_body(self, op: str, key: bytes, value: Optional[bytes],
+                      ctx):
         start = self.sim.now
         retries = 0
         while True:
@@ -206,8 +260,9 @@ class FrontEndClient:
                                         retries=retries)
             hop, vnode = target
             body = KVRequest(op, key, value, vnode.vnode_id,
-                             self.local_ring.version, hop, self.tenant)
-            reply = yield from self._issue(body, vnode)
+                             self.local_ring.version, hop, self.tenant,
+                             trace=ctx)
+            reply = yield from self._issue(body, vnode, ctx)
             if reply is None:
                 self.stats.timeouts += 1
             elif reply.status in (STATUS_OK, STATUS_NOT_FOUND,
@@ -245,12 +300,18 @@ class FrontEndClient:
             yield from self.refresh_ring()
             yield self.sim.timeout(200.0 * retries)
 
-    def _issue(self, body: KVRequest, vnode: VNode):
+    def _issue(self, body: KVRequest, vnode: VNode, ctx=None):
         """Generator: run one request through flow control + RPC."""
         target = vnode.vnode_id
         waiter: Event = self.sim.event()
+        flow_ctx = None
+        if ctx is not None:
+            flow_ctx = ctx.child("client.flow", cat="client",
+                                 args={"target": target})
 
         def send():
+            if flow_ctx is not None:
+                flow_ctx.finish()
             self.sim.process(self._call(body, vnode, target, waiter),
                              name=self.address + ".call")
 

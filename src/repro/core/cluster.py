@@ -3,23 +3,31 @@
 This is the top-level convenience API most examples and benchmarks
 use::
 
-    cluster = LeedCluster(num_jbofs=3, clients=4)
-    cluster.start()
-    ... drive cluster.clients[i].get/put/delete inside processes ...
-    cluster.sim.run(until=...)
+    with LeedCluster(num_jbofs=3, num_clients=4) as cluster:
+        ... drive cluster.clients[i].get/put/delete inside processes ...
+        cluster.sim.run(until=...)
+
+Entering the ``with`` block publishes the initial ring
+(:meth:`LeedCluster.start`, idempotent); leaving it (or calling
+:meth:`LeedCluster.shutdown`) stops the background heartbeat,
+failure-monitor and metrics-sampler processes so ``sim.run()`` with
+no deadline drains the event heap.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional
 
 from repro.core.datastore import StoreConfig
 from repro.core.client import FrontEndClient
 from repro.core.jbof import JBOFNode, LeedOptions
 from repro.core.membership import ControlPlane
+from repro.core.protocol import ReadPolicy
 from repro.hw.platforms import STINGRAY, PlatformSpec
 from repro.net.topology import NIC_100G, Network, NicProfile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
 from repro.power.meter import EnergyReport, cluster_energy
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
@@ -39,8 +47,8 @@ class ClusterConfig:
     #: Client-side feature switches (ablations).
     flow_control: bool = True
     crrs: bool = True
-    #: GET replica choice: "crrs" | "tail" | "any" (see FrontEndClient).
-    read_policy: Optional[str] = None
+    #: GET replica choice (:class:`ReadPolicy`, or its string value).
+    read_policy: Optional[ReadPolicy] = None
     seed: int = 0
     heartbeat_timeout_us: float = 200_000.0
     #: Node NIC profile (100 GbE RDMA for JBOFs, 1 GbE USB for Pis).
@@ -50,6 +58,26 @@ class ClusterConfig:
     #: Store config forwarded verbatim to the node class (its type
     #: depends on the node class: StoreConfig / FawnConfig / ...).
     store: object = field(default_factory=StoreConfig)
+    #: Trace every Nth client request (0 disables tracing).
+    trace_sample_interval: int = 0
+    #: Metrics sampling period for :class:`MetricsRegistry`
+    #: (0 disables the background sampler).
+    metrics_interval_us: float = 0.0
+
+    @classmethod
+    def from_overrides(cls, **overrides) -> "ClusterConfig":
+        """Build a config from keyword overrides, strictly validated.
+
+        Unknown keys raise :class:`TypeError` naming the valid fields
+        — a typo'd override must not silently fall back to a default.
+        """
+        valid = [spec.name for spec in fields(cls)]
+        unknown = sorted(set(overrides) - set(valid))
+        if unknown:
+            raise TypeError(
+                "unknown ClusterConfig field(s) %s; valid fields: %s"
+                % (", ".join(repr(k) for k in unknown), ", ".join(valid)))
+        return cls(**overrides)
 
 
 class LeedCluster:
@@ -57,13 +85,16 @@ class LeedCluster:
 
     def __init__(self, config: Optional[ClusterConfig] = None, **overrides):
         if config is None:
-            config = ClusterConfig(**overrides)
+            config = ClusterConfig.from_overrides(**overrides)
         elif overrides:
             raise ValueError("pass either a config or keyword overrides")
         self.config = config
         self.sim = Simulator()
         self.rng = RngRegistry(config.seed)
         self.network = Network(self.sim)
+        #: Observability layer: spans + metrics for this deployment.
+        self.tracer = Tracer(self.sim)
+        self.metrics = MetricsRegistry(self.sim)
         self.control_plane = ControlPlane(
             self.sim, self.network, replication=config.replication,
             heartbeat_timeout_us=config.heartbeat_timeout_us)
@@ -85,10 +116,15 @@ class LeedCluster:
                 self.sim, self.network, "client%d" % index,
                 control_plane_address=self.control_plane.address,
                 flow_control=config.flow_control, crrs=config.crrs,
-                read_policy=config.read_policy)
+                read_policy=config.read_policy,
+                tracer=self.tracer,
+                trace_sample_interval=config.trace_sample_interval)
             self.clients.append(client)
             self.control_plane.subscribe(client.address)
+            self.metrics.register_histogram(
+                "%s.latency" % client.address, client.stats.histogram)
         self._started = False
+        self._shut_down = False
 
     # -- lifecycle -----------------------------------------------------------------
 
@@ -99,10 +135,34 @@ class LeedCluster:
         self.control_plane.bootstrap()
         # Give clients their initial view synchronously: a deployment
         # fetches the ring before serving traffic.
-        payload = self.control_plane._update_payload()
+        payload = self.control_plane.membership_snapshot()
         for client in self.clients:
             client.apply_membership(payload)
+        if self.config.metrics_interval_us > 0:
+            self.metrics.sample_every(self.config.metrics_interval_us)
         self._started = True
+
+    def shutdown(self) -> None:
+        """Stop background processes so the event heap can drain.
+
+        Stops every JBOF's heartbeat/maintenance loop, the control
+        plane's failure monitor, and the metrics sampler.  Idempotent;
+        also invoked when the cluster is used as a context manager.
+        """
+        if self._shut_down:
+            return
+        for node in self.jbofs:
+            node.stop()
+        self.control_plane.stop()
+        self.metrics.stop()
+        self._shut_down = True
+
+    def __enter__(self) -> "LeedCluster":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
 
     # -- convenience -----------------------------------------------------------------
 

@@ -114,6 +114,10 @@ ValueRouter = Callable[["LeedDataStore", bytes, bytes], tuple]
 class LeedDataStore:
     """One LEED partition: key log + value log + SegTbl."""
 
+    #: This store's commands accept a ``trace=`` kwarg (the engine
+    #: checks this before passing one; baseline stores do not set it).
+    TRACE_AWARE = True
+
     def __init__(self, sim: Simulator, ssd: NVMeSSD, config: StoreConfig,
                  region_offset: int = 0, dram: Optional[Dram] = None,
                  core: Optional[Core] = None, name: str = "store",
@@ -169,10 +173,10 @@ class LeedDataStore:
         else:
             yield self.sim.timeout(cycles / 3.0e3)  # 3 GHz default
 
-    def _read_segment(self, offset: int, chain_len: int):
+    def _read_segment(self, offset: int, chain_len: int, trace=None):
         """Generator: fetch and deserialize a segment from the key log."""
-        blob = yield from self.key_log.read(offset,
-                                            chain_len * self.key_log.block_size)
+        blob = yield from self.key_log.read(
+            offset, chain_len * self.key_log.block_size, trace=trace)
         return Segment.unpack(blob, self.key_log.block_size)
 
     def _log_reserve_bytes(self, log: CircularLog) -> int:
@@ -186,7 +190,8 @@ class LeedDataStore:
         fraction = int(log.size * self.config.compaction_reserve_fraction)
         return min(max(fraction, floor), log.size // 4)
 
-    def _write_segment(self, segment: Segment, enforce_reserve: bool = False):
+    def _write_segment(self, segment: Segment, enforce_reserve: bool = False,
+                       trace=None):
         """Generator: append a segment and repoint the SegTbl.
 
         Returns the new (offset, chain_len).  The old location becomes
@@ -202,7 +207,7 @@ class LeedDataStore:
                                 < self._log_reserve_bytes(self.key_log)):
             raise LogFullError("%s: write would eat compaction reserve"
                                % self.key_log.name)
-        offset = yield from self.key_log.append_blocks(blob)
+        offset = yield from self.key_log.append_blocks(blob, trace=trace)
         self.segtbl.update(segment.seg_id, offset, segment.chain_len)
         if old is not None:
             self.stats.key_log_garbage_bytes += old[1] * self.key_log.block_size
@@ -210,12 +215,14 @@ class LeedDataStore:
 
     # -- commands ---------------------------------------------------------------------
 
-    def get(self, key: bytes):
+    def get(self, key: bytes, trace=None):
         """Generator: GET — SegTbl lookup, segment read, value read.
 
         Optimistic with respect to compaction: if the segment or value
         moved underneath us (LogRangeError / key mismatch) the lookup
         restarts from the SegTbl, up to ``max_get_retries`` times.
+        ``trace`` (a :class:`repro.obs.spans.TraceContext`) attributes
+        the device accesses to the request's trace.
         """
         start = self.sim.now
         cpu_us = ssd_us = 0.0
@@ -239,7 +246,8 @@ class LeedDataStore:
             offset, chain_len = location
             t0 = self.sim.now
             try:
-                segment = yield from self._read_segment(offset, chain_len)
+                segment = yield from self._read_segment(offset, chain_len,
+                                                        trace)
             except LogRangeError:
                 ssd_us += self.sim.now - t0
                 continue
@@ -261,7 +269,8 @@ class LeedDataStore:
             value_log = self._value_log_for(item.ssd_id)
             t0 = self.sim.now
             try:
-                blob = yield from value_log.read(item.voffset, entry_size)
+                blob = yield from value_log.read(item.voffset, entry_size,
+                                                 trace=trace)
             except LogRangeError:
                 ssd_us += self.sim.now - t0
                 continue
@@ -291,12 +300,13 @@ class LeedDataStore:
         self.stats.op_latency_us["get"] += result.total_us
         return result
 
-    def put(self, key: bytes, value: bytes):
+    def put(self, key: bytes, value: bytes, trace=None):
         """Generator: PUT — 3 NVMe accesses, first two overlapped.
 
         The value-log write starts immediately (its offset is reserved
         synchronously) and runs in parallel with the key-segment read;
-        the updated segment is then appended (§3.3).
+        the updated segment is then appended (§3.3).  ``trace``
+        attributes the device accesses to the request's trace.
         """
         if not value:
             raise ValueError("empty values are reserved as deletion markers")
@@ -326,14 +336,15 @@ class LeedDataStore:
 
             t0 = self.sim.now
             value_write = self.sim.process(
-                value_log.write_reserved(voffset, entry),
+                value_log.write_reserved(voffset, entry, trace=trace),
                 name=self.name + ".vwrite")
             location = self.segtbl.location(seg_id)
             if location is None:
                 segment = Segment(seg_id)
                 accesses = 2  # value write + segment write
             else:
-                segment = yield from self._read_segment(*location)
+                segment = yield from self._read_segment(location[0],
+                                                        location[1], trace)
                 accesses = 3
             yield value_write
             ssd_us += self.sim.now - t0
@@ -361,7 +372,8 @@ class LeedDataStore:
 
             t0 = self.sim.now
             try:
-                yield from self._write_segment(segment, enforce_reserve=True)
+                yield from self._write_segment(segment, enforce_reserve=True,
+                                               trace=trace)
             except LogFullError:
                 ssd_us += self.sim.now - t0
                 return self._finish_put(OpResult(STORE_FULL), start, ssd_us,
@@ -383,7 +395,7 @@ class LeedDataStore:
         self.stats.op_latency_us["put"] += result.total_us
         return result
 
-    def delete(self, key: bytes):
+    def delete(self, key: bytes, trace=None):
         """Generator: DEL — read segment, write tombstone (2 accesses)."""
         start = self.sim.now
         cpu_us = ssd_us = 0.0
@@ -403,7 +415,8 @@ class LeedDataStore:
                 result = OpResult(NOT_FOUND)
             else:
                 t0 = self.sim.now
-                segment = yield from self._read_segment(*location)
+                segment = yield from self._read_segment(location[0],
+                                                        location[1], trace)
                 ssd_us += self.sim.now - t0
                 accesses += 1
                 item = segment.find(key, khash)
@@ -421,7 +434,8 @@ class LeedDataStore:
                     t0 = self.sim.now
                     try:
                         yield from self._write_segment(segment,
-                                                       enforce_reserve=True)
+                                                       enforce_reserve=True,
+                                                       trace=trace)
                         result = OpResult(OK)
                     except LogFullError:
                         result = OpResult(STORE_FULL)

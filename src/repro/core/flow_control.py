@@ -20,6 +20,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 
+from repro.obs.hist import LatencyHistogram
 from repro.sim.core import Simulator
 from repro.sim.events import Event
 
@@ -51,6 +52,9 @@ class FlowStats:
     deferred: int = 0
     nagle_probes: int = 0
     rounds: int = 0
+    #: Time requests spend in the front-end tenant queues before the
+    #: scheduler clears them (zero when flow control is disabled).
+    queue_wait: LatencyHistogram = field(default_factory=LatencyHistogram)
 
 
 class FlowController:
@@ -169,6 +173,7 @@ class FlowController:
         view = self.view(request.target)
         view.outstanding += 1
         self.stats.submitted += 1
+        self.stats.queue_wait.record(self.sim.now - request.enqueued_at)
         request.send()
 
     def __repr__(self):

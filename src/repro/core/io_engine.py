@@ -49,6 +49,12 @@ class KVCommand:
     enqueued_at: float = 0.0
     started_at: float = 0.0
     completion: Optional[Event] = None
+    #: Trace context of the request this command serves (duck-typed
+    #: :class:`repro.obs.spans.TraceContext`; None when unsampled).
+    trace: Optional[object] = None
+    #: Open ``engine.queue`` span while the command sits in the
+    #: waiting queue (internal to the engine).
+    queue_span: Optional[object] = None
 
     @property
     def token_cost(self) -> int:
@@ -124,8 +130,14 @@ class PartitionIOEngine:
             command.completion.fail(ValueError("unknown op %r" % command.op))
             command.completion.defuse()
             return command.completion
+        if command.trace is not None:
+            command.queue_span = command.trace.child(
+                "engine.queue", cat="engine", args={"engine": self.name})
         if not self.waiting.try_put(command):
             self.stats.rejected += 1
+            if command.queue_span is not None:
+                command.queue_span.finish({"rejected": True})
+                command.queue_span = None
             command.completion.fail(OverloadError(
                 "%s waiting queue full (%d)" % (self.name, len(self.waiting))))
             command.completion.defuse()
@@ -161,9 +173,19 @@ class PartitionIOEngine:
     def _run(self):
         while True:
             command: KVCommand = yield self.waiting.get()
+            if command.queue_span is not None:
+                command.queue_span.finish()
+                command.queue_span = None
             # Wait for tokens (the active queue's serving capability).
+            token_ctx = None
+            if command.trace is not None and self._tokens < command.token_cost:
+                token_ctx = command.trace.child(
+                    "engine.tokens", cat="engine",
+                    args={"cost": command.token_cost})
             while self._tokens < command.token_cost:
                 yield self._token_released()
+            if token_ctx is not None:
+                token_ctx.finish()
             self._tokens -= command.token_cost
             command.started_at = self.sim.now
             self.stats.total_wait_us += command.started_at - command.enqueued_at
@@ -182,27 +204,52 @@ class PartitionIOEngine:
     STORE_FULL_RETRIES = 20
     STORE_FULL_BACKOFF_US = 150.0
 
+    def _invoke(self, command: KVCommand, trace):
+        """The store-call generator for one command.
+
+        Only stores that declare ``TRACE_AWARE`` receive the trace
+        kwarg — baseline stores (FAWN, KVell) keep their plain
+        signatures and simply run untraced below the engine spans.
+        """
+        kwargs = {}
+        if trace is not None:
+            kwargs["trace"] = trace
+        if command.op == "get":
+            return self.store.get(command.key, **kwargs)
+        if command.op == "put":
+            return self.store.put(command.key, command.value, **kwargs)
+        if command.op == "del":
+            return self.store.delete(command.key, **kwargs)
+        raise ValueError("unknown op %r" % command.op)
+
     def _execute(self, command: KVCommand):
+        exec_ctx = None
+        trace = None
+        if command.trace is not None:
+            exec_ctx = command.trace.child("engine.exec." + command.op,
+                                           cat="engine")
+            if getattr(self.store, "TRACE_AWARE", False):
+                trace = exec_ctx
         try:
-            if command.op == "get":
-                result = yield from self.store.get(command.key)
-            elif command.op == "put":
-                result = yield from self.store.put(command.key, command.value)
+            if command.op == "put":
+                result = yield from self._invoke(command, trace)
                 for _attempt in range(self.STORE_FULL_RETRIES):
                     if result.status != "store_full":
                         break
                     yield self.sim.timeout(self.STORE_FULL_BACKOFF_US)
-                    result = yield from self.store.put(command.key,
-                                                       command.value)
-            elif command.op == "del":
-                result = yield from self.store.delete(command.key)
+                    result = yield from self._invoke(command, trace)
             else:
-                raise ValueError("unknown op %r" % command.op)
+                result = yield from self._invoke(command, trace)
         except Exception as exc:  # surface store errors to the waiter
+            if exec_ctx is not None:
+                exec_ctx.finish({"error": type(exc).__name__})
             self._retire(command)
             if command.completion and not command.completion.triggered:
                 command.completion.fail(exc)
             return
+        if exec_ctx is not None:
+            exec_ctx.finish({"status": result.status,
+                             "nvme_accesses": result.nvme_accesses})
         self._retire(command)
         self.stats.completed += 1
         self.stats.total_service_us += self.sim.now - command.started_at

@@ -334,6 +334,23 @@ class JBOFNode:
     def _handle_kv(self, src: str, request: RpcRequest):
         """Raw handler: the response may be produced by another node."""
         body: KVRequest = request.body
+        parent = body.trace
+        ctx = None
+        if parent is not None:
+            ctx = parent.child("jbof.dispatch", track=self.address,
+                               cat="server",
+                               args={"op": body.op, "vnode": body.vnode_id,
+                                     "hop": body.hop})
+            # Children (engine/device spans, shipped sub-dispatches)
+            # nest under this node's dispatch span.
+            body.trace = ctx
+        try:
+            yield from self._dispatch_kv(src, request, body)
+        finally:
+            if ctx is not None:
+                ctx.finish()
+
+    def _dispatch_kv(self, src: str, request: RpcRequest, body: KVRequest):
         yield from self._net_core().execute(CYCLE_COSTS["rpc_receive"])
         runtime = self.vnodes.get(body.vnode_id)
         if runtime is None or runtime.state == JOINING or not self.alive:
@@ -394,7 +411,8 @@ class JBOFNode:
             # Request shipping: the tail holds the committed latest value.
             runtime.stats.reads_shipped += 1
             shipped = KVRequest("get", body.key, None, tail_id,
-                                body.ring_version, len(chain) - 1, body.tenant)
+                                body.ring_version, len(chain) - 1, body.tenant,
+                                trace=body.trace)
             self.rpc.forward(tail_vnode.jbof_address, request, shipped,
                              shipped.wire_bytes())
             yield self.sim.timeout(0)
@@ -427,7 +445,8 @@ class JBOFNode:
             yield from self._net_core().execute(
                 CYCLE_COSTS["replication_forward"])
             forwarded = KVRequest(body.op, body.key, body.value, next_id,
-                                  body.ring_version, body.hop + 1, body.tenant)
+                                  body.ring_version, body.hop + 1, body.tenant,
+                                  trace=body.trace)
             self.rpc.forward(next_vnode.jbof_address, request, forwarded,
                              forwarded.wire_bytes())
             return
@@ -476,7 +495,8 @@ class JBOFNode:
 
     def _execute(self, runtime: VNodeRuntime, body: KVRequest):
         """Generator: run the command through the partition engine."""
-        command = KVCommand(body.op, body.key, body.value, tenant=body.tenant)
+        command = KVCommand(body.op, body.key, body.value, tenant=body.tenant,
+                            trace=body.trace)
         try:
             result: OpResult = yield runtime.engine.submit(command)
         except OverloadError:
@@ -629,6 +649,12 @@ class JBOFNode:
                     yield from runtime.compactor.maintenance()
 
     # -- failure injection -------------------------------------------------------------------
+
+    def stop(self) -> None:
+        """Graceful shutdown: heartbeat and maintenance loops exit at
+        their next poll.  Unlike :meth:`crash` the node stays on the
+        network, so in-flight responses still drain."""
+        self.alive = False
 
     def crash(self) -> None:
         """Fail-stop: drop off the network and stop serving."""

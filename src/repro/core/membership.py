@@ -91,6 +91,7 @@ class ControlPlane:
         self._last_heartbeat: Dict[str, float] = {}
         self._failed: set = set()
         self.membership_events: List[tuple] = []  # (time, kind, vnode_id)
+        self._stopped = False
         self.rpc.register("heartbeat", self._handle_heartbeat)
         self.rpc.register("get_ring", self._handle_get_ring)
         self._monitor = sim.process(self._monitor_loop(), name="cp.monitor")
@@ -125,7 +126,12 @@ class ControlPlane:
                    if info.state in (RUNNING, LEAVING)]
         return HashRing(members, self.replication, self.ring_version)
 
-    def _update_payload(self) -> MembershipUpdate:
+    def membership_snapshot(self) -> MembershipUpdate:
+        """The current membership view as a push/pull payload.
+
+        This is the public accessor for the cluster snapshot — the
+        same payload heartbeat pushes and ``get_ring`` pulls carry.
+        """
         ring = self.master_ring()
         return MembershipUpdate(
             ring_version=self.ring_version,
@@ -134,13 +140,21 @@ class ControlPlane:
             states=[(i.vnode_id, i.state) for i in self.vnodes.values()],
             replication=self.replication)
 
+    def _update_payload(self) -> MembershipUpdate:
+        """Deprecated private alias of :meth:`membership_snapshot`.
+
+        Kept for one release so external callers migrate; new code
+        must use the public name.
+        """
+        return self.membership_snapshot()
+
     def _broadcast(self, immediate: bool = False) -> None:
         """Push the current snapshot to all subscribers.
 
         Pushes ride the simulated network (plus etcd-watch jitter), so
         subscribers converge asynchronously.
         """
-        payload = self._update_payload()
+        payload = self.membership_snapshot()
         for index, address in enumerate(self._subscribers):
             if immediate:
                 node = self._jbofs.get(address)
@@ -166,13 +180,19 @@ class ControlPlane:
         return None
 
     def _handle_get_ring(self, src: str, _body):
-        payload = self._update_payload()
+        payload = self.membership_snapshot()
         yield self.sim.timeout(0)
         return payload, payload.wire_bytes()
 
+    def stop(self) -> None:
+        """Stop the failure monitor (cluster shutdown); idempotent."""
+        self._stopped = True
+
     def _monitor_loop(self):
-        while True:
+        while not self._stopped:
             yield self.sim.timeout(self.heartbeat_timeout_us / 4.0)
+            if self._stopped:
+                return
             now = self.sim.now
             for address, last in list(self._last_heartbeat.items()):
                 if address in self._failed:

@@ -6,11 +6,55 @@ byte), so each body knows its wire footprint.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 #: Fixed per-command header: op, ids, ring version, hop counter, tenant.
 KV_HEADER_BYTES = 24
+
+
+class ReadPolicy(str, enum.Enum):
+    """Replica choice for GETs.
+
+    * ``CRRS`` — the replica with the most available tokens, LEED's
+      load-aware replica selection (§3.7);
+    * ``TAIL`` — the chain tail only, classic chain replication
+      (the FAWN-KV baseline);
+    * ``ANY`` — round robin over serving replicas (a sharded KVell
+      deployment).
+
+    The enum subclasses :class:`str`, so ``ReadPolicy.TAIL == "tail"``
+    holds and existing string comparisons keep working.  Passing bare
+    strings (``"crrs"`` | ``"tail"`` | ``"any"``) where a policy is
+    expected is **deprecated**: they are still coerced by
+    :meth:`coerce`, but new code should pass the enum members.
+    """
+
+    CRRS = "crrs"
+    TAIL = "tail"
+    ANY = "any"
+
+    @classmethod
+    def coerce(cls, value: Optional[object]) -> Optional["ReadPolicy"]:
+        """Normalize a policy argument.
+
+        ``None`` passes through (callers apply their own default);
+        members pass through; strings are coerced (deprecated spelling,
+        kept for one release).  Anything else raises ``ValueError``
+        listing the valid policies.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            raise ValueError(
+                "invalid read policy %r; valid policies: %s"
+                % (value, ", ".join(policy.value for policy in cls)))
+
+    def __str__(self) -> str:
+        return self.value
 
 #: Statuses carried by KVReply.
 STATUS_OK = "ok"
@@ -32,6 +76,11 @@ class KVRequest:
     ring_version: int = 0
     hop: int = 0                 # expected chain position of the target
     tenant: str = "default"
+    #: Tracing context (:class:`repro.obs.spans.TraceContext`) carried
+    #: alongside the command — simulation-side observability, never on
+    #: the wire (excluded from :meth:`wire_bytes`).  ``None`` when the
+    #: request is unsampled.
+    trace: Optional[object] = None
 
     def wire_bytes(self) -> int:
         """Bytes this command occupies on the wire."""

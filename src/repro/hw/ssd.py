@@ -186,8 +186,17 @@ class NVMeSSD:
 
     # -- I/O generators ----------------------------------------------------------
 
-    def read(self, offset: int, length: int):
-        """Read ``length`` bytes at ``offset``; yields, returns the bytes."""
+    def read(self, offset: int, length: int, trace=None):
+        """Read ``length`` bytes at ``offset``; yields, returns the bytes.
+
+        ``trace`` is a duck-typed trace context (this layer never
+        imports :mod:`repro.obs`): an ``ssd.read`` device span covers
+        queue wait plus service.
+        """
+        ctx = None
+        if trace is not None:
+            ctx = trace.child("ssd.read", track=self.name, cat="device",
+                              args={"bytes": length})
         submitted = self.sim.now
         yield self._queue_slots.acquire()
         yield self._channels.acquire()
@@ -203,10 +212,16 @@ class NVMeSSD:
         self.stats.total_read_latency_us += completed - submitted
         self.stats.queue_wait_us += admitted - submitted
         self.stats.busy_time_us += service
+        if ctx is not None:
+            ctx.finish({"queue_wait_us": admitted - submitted})
         return data
 
-    def write(self, offset: int, data: bytes):
+    def write(self, offset: int, data: bytes, trace=None):
         """Program ``data`` at a block-aligned ``offset``; yields until durable."""
+        ctx = None
+        if trace is not None:
+            ctx = trace.child("ssd.write", track=self.name, cat="device",
+                              args={"bytes": len(data)})
         submitted = self.sim.now
         yield self._queue_slots.acquire()
         yield self._channels.acquire()
@@ -228,6 +243,8 @@ class NVMeSSD:
         self.stats.total_write_latency_us += completed - submitted
         self.stats.queue_wait_us += admitted - submitted
         self.stats.busy_time_us += service + extra_wait
+        if ctx is not None:
+            ctx.finish({"queue_wait_us": admitted - submitted})
         return len(data)
 
     def trim(self, offset: int, length: int):

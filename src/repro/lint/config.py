@@ -25,14 +25,16 @@ def _default_layers() -> Dict[str, FrozenSet[str]]:
     sim = frozenset({"repro.sim"})
     hw = sim | {"repro.hw"}
     net = sim | {"repro.net"}
+    obs = sim | {"repro.obs"}
     power = hw | {"repro.power"}
-    core = hw | net | power | {"repro.core", "repro.telemetry"}
+    core = hw | net | power | obs | {"repro.core", "repro.telemetry"}
     workloads = sim | {"repro.workloads"}
     top = core | workloads | {"repro.baselines"}
     return {
         "repro.sim": sim,
         "repro.hw": hw,
         "repro.net": net,
+        "repro.obs": obs,
         "repro.power": power,
         "repro.telemetry": core,
         "repro.core": core,
@@ -59,6 +61,13 @@ class LintConfig:
     #: Directories whose set iteration feeds scheduling/ordering
     #: decisions and must be wrapped in ``sorted(...)`` (SIM003).
     ordered_iteration_scopes: Tuple[str, ...] = ("repro/core/", "repro/net/")
+
+    #: Files exempt from the layering DAG (SIM004).  CLI entry points
+    #: that compose the full stack — like ``repro.bench.__main__`` does
+    #: from the top layer — but live in a low layer for import reasons:
+    #: ``repro.obs.trace`` must sit in ``repro.obs`` (so the package is
+    #: importable below ``core``) yet builds a whole traced cluster.
+    layer_allow: Tuple[str, ...] = ("repro/obs/trace.py",)
 
     #: Layer -> allowed imported layers (SIM004).
     layers: Dict[str, FrozenSet[str]] = field(default_factory=_default_layers)

@@ -286,6 +286,8 @@ class ImportLayering(Rule):
     def check(self, source: ModuleSource) -> Iterator[Finding]:
         if source.module is None:
             return
+        if self.config.allows(self.config.layer_allow, source.relpath):
+            return
         layer = self._layer(source.module)
         allowed = self.config.layers.get(layer)
         if allowed is None:

@@ -225,10 +225,23 @@ class RpcEndpoint:
         When ``timeout_us`` is given the event fails with
         :class:`RpcTimeout` if no response arrives in time (needed for
         failure handling — a partitioned node never answers).
+
+        Tracing: when ``body`` carries a trace context (duck-typed —
+        this layer never imports :mod:`repro.obs`), a ``rpc.<method>``
+        child span opens here and closes when the waiter triggers, on
+        the success *and* the timeout path alike; server-side spans
+        nest under it because the child context replaces ``body.trace``
+        before the envelope is posted.
         """
         request_id = next(self._request_ids)
         waiter = self.sim.event()
         self._pending[request_id] = waiter
+        parent = getattr(body, "trace", None)
+        if parent is not None:
+            net_ctx = parent.child("rpc." + method, cat="net",
+                                   args={"dst": dst, "nbytes": nbytes})
+            body.trace = net_ctx
+            waiter.callbacks.append(lambda _evt: net_ctx.finish())
         request = RpcRequest(request_id, method, body,
                              nbytes, self.address, self._response_region.key)
         self.calls_sent += 1

@@ -1,0 +1,134 @@
+"""Periodic metrics sampling over simulated time.
+
+A :class:`MetricsRegistry` holds named counters, gauges (zero-arg
+callables read at sample time), and :class:`LatencyHistogram`
+instances, and snapshots them all into a timeseries record either on
+demand (:meth:`sample_now`) or on a fixed simulated-time cadence
+(:meth:`sample_every`).  The records are plain dicts with sorted,
+stable keys — ready to dump as ``BENCH_*.json`` artifacts.
+
+The sampler is a simulator process; call :meth:`stop` (or let
+``LeedCluster.shutdown()`` do it) so a drained heap can terminate
+``sim.run()``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional
+
+from repro.obs.hist import LatencyHistogram
+
+
+class MetricsRegistry:
+    """Named metrics plus a periodic timeseries sampler."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.records: List[Dict[str, object]] = []
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, Callable[[], float]] = {}
+        self._histograms: Dict[str, LatencyHistogram] = {}
+        self._sampling = False
+        self._process = None
+
+    # -- registration -------------------------------------------------------
+
+    def counter(self, name: str, delta: float = 1.0) -> None:
+        """Increment counter ``name`` by ``delta`` (creating it at 0)."""
+        self._counters[name] = self._counters.get(name, 0.0) + delta
+
+    def register_gauge(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a gauge read at every sample.  Re-registering a
+        name replaces the callable."""
+        self._gauges[name] = fn
+
+    def register_histogram(self, name: str,
+                           hist: Optional[LatencyHistogram] = None
+                           ) -> LatencyHistogram:
+        """Register (or create) a histogram under ``name``."""
+        if hist is None:
+            hist = LatencyHistogram()
+        self._histograms[name] = hist
+        return hist
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Fetch-or-create a histogram by name."""
+        if name not in self._histograms:
+            self._histograms[name] = LatencyHistogram()
+        return self._histograms[name]
+
+    # -- sampling -----------------------------------------------------------
+
+    def sample_now(self) -> Dict[str, object]:
+        """Append and return one timeseries record at ``sim.now``."""
+        record: Dict[str, object] = {
+            "t_us": self.sim.now,
+            "counters": {k: self._counters[k] for k in sorted(self._counters)},
+            "gauges": {k: float(self._gauges[k]())
+                       for k in sorted(self._gauges)},
+            "histograms": {k: self._histograms[k].to_dict()
+                           for k in sorted(self._histograms)},
+        }
+        self.records.append(record)
+        return record
+
+    def sample_every(self, interval_us: float):
+        """Start the periodic sampler process; returns the process.
+
+        Samples at ``now + interval_us``, then every ``interval_us``
+        after that, until :meth:`stop`.  Starting twice is a no-op.
+        """
+        if interval_us <= 0:
+            raise ValueError("interval_us must be positive, got %r" % interval_us)
+        if self._sampling:
+            return self._process
+        self._sampling = True
+        self._process = self.sim.process(self._sample_loop(interval_us),
+                                         name="metrics.sampler")
+        return self._process
+
+    def _sample_loop(self, interval_us: float):
+        while self._sampling:
+            yield self.sim.timeout(interval_us)
+            if not self._sampling:
+                return
+            self.sample_now()
+
+    def stop(self) -> None:
+        """Stop the periodic sampler (the process exits at its next
+        wakeup).  A final sample is flushed so runs shorter than one
+        interval still produce a record.  Safe to call when never
+        started, or twice."""
+        if self._sampling:
+            self.sample_now()
+        self._sampling = False
+
+    # -- export -------------------------------------------------------------
+
+    def bench_records(self, label: str) -> List[Dict[str, object]]:
+        """Flatten records into one-row-per-sample dicts keyed for the
+        bench harness's ``BENCH_*.json`` files: histogram summaries
+        are inlined as ``<name>.p99_us`` style columns."""
+        rows: List[Dict[str, object]] = []
+        for record in self.records:
+            row: Dict[str, object] = {"label": label, "t_us": record["t_us"]}
+            for k, v in record["counters"].items():
+                row[k] = v
+            for k, v in record["gauges"].items():
+                row[k] = v
+            for name, summary in record["histograms"].items():
+                for stat in ("count", "mean_us", "p50_us", "p95_us",
+                             "p99_us", "p999_us"):
+                    row["%s.%s" % (name, stat)] = summary[stat]
+            rows.append(row)
+        return rows
+
+    def to_json(self) -> str:
+        """Canonical JSON of all records — byte-stable across runs."""
+        return json.dumps(self.records, sort_keys=True,
+                          separators=(",", ":"))
+
+    def __repr__(self):
+        return "<MetricsRegistry gauges=%d histograms=%d records=%d>" % (
+            len(self._gauges), len(self._histograms), len(self.records))

@@ -1,0 +1,107 @@
+"""Traced-benchmark CLI: drive a small cluster, export Chrome traces.
+
+Usage::
+
+    python -m repro.obs.trace --ops 32 --output trace.json
+    python -m repro.obs.trace --jbofs 3 --clients 2 --output - \
+        --metrics-output metrics.json --metrics-interval-us 10000
+
+Runs a deterministic PUT+GET workload on a :class:`LeedCluster` with
+request tracing enabled, then writes the spans as canonical
+Chrome-trace JSON (open in ``chrome://tracing`` or Perfetto).  Two
+runs with the same arguments produce byte-identical output — the
+export is the CI trace artifact.
+
+This module sits above :mod:`repro.core` on purpose (it composes the
+full stack); it is the one :mod:`repro.obs` file exempted from the
+import-layering lint rule.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.cluster import LeedCluster
+from repro.obs.spans import span_coverage
+
+
+def _workload(client, count: int, value_size: int, offset: int):
+    """One client's share: ``count`` PUT+GET pairs over distinct keys."""
+    for index in range(count):
+        key = ("key%06d" % (offset + index)).encode()
+        value = bytes([(offset + index) % 251]) * value_size
+        yield from client.put(key, value)
+        yield from client.get(key)
+
+
+def run_traced(num_jbofs: int, num_clients: int, ops: int, value_size: int,
+               seed: int, sample_interval: int,
+               metrics_interval_us: float) -> LeedCluster:
+    """Run the traced workload to completion; returns the (shut down)
+    cluster so callers can export its tracer/metrics."""
+    with LeedCluster(num_jbofs=num_jbofs, num_clients=num_clients,
+                     seed=seed, trace_sample_interval=sample_interval,
+                     metrics_interval_us=metrics_interval_us) as cluster:
+        cluster.start()
+        share = max(ops // num_clients, 1)
+        procs = [
+            cluster.sim.process(
+                _workload(client, share, value_size, index * share),
+                name="trace.workload%d" % index)
+            for index, client in enumerate(cluster.clients)
+        ]
+        cluster.sim.run(until=cluster.sim.all_of(procs))
+        cluster.shutdown()
+        # Drain in-flight background events (flushes, pushes) so every
+        # span is finished before export.
+        cluster.sim.run()
+    return cluster
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="Run a small traced benchmark and export the spans "
+                    "as Chrome-trace JSON.")
+    parser.add_argument("--jbofs", type=int, default=3)
+    parser.add_argument("--clients", type=int, default=1)
+    parser.add_argument("--ops", type=int, default=32,
+                        help="total PUT+GET pairs across all clients")
+    parser.add_argument("--value-size", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sample-interval", type=int, default=1,
+                        help="trace every Nth request (1 = all)")
+    parser.add_argument("--output", default="-",
+                        help="trace JSON path, or - for stdout")
+    parser.add_argument("--metrics-output", default=None,
+                        help="also dump MetricsRegistry records here")
+    parser.add_argument("--metrics-interval-us", type=float, default=0.0)
+    args = parser.parse_args(argv)
+
+    cluster = run_traced(args.jbofs, args.clients, args.ops,
+                         args.value_size, args.seed, args.sample_interval,
+                         args.metrics_interval_us)
+    document = cluster.tracer.to_json()
+    if args.output == "-":
+        print(document)
+    else:
+        with open(args.output, "w") as handle:
+            handle.write(document)
+            handle.write("\n")
+    if args.metrics_output is not None:
+        with open(args.metrics_output, "w") as handle:
+            handle.write(cluster.metrics.to_json())
+            handle.write("\n")
+
+    roots = [span for span in cluster.tracer.roots() if span.finished]
+    coverages = [span_coverage(cluster.tracer, span) for span in roots]
+    mean_coverage = (sum(coverages) / len(coverages)) if coverages else 0.0
+    print("traced %d requests, %d spans, mean phase coverage %.1f%%"
+          % (len(roots), len(cluster.tracer.spans), 100.0 * mean_coverage),
+          file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,7 +72,10 @@ class ClientSnapshot:
     nacks: int
     timeouts: int
     mean_latency_us: float
+    p50_latency_us: float
+    p95_latency_us: float
     p99_latency_us: float
+    p999_latency_us: float
 
 
 @dataclass
@@ -151,7 +154,10 @@ def snapshot(cluster) -> ClusterSnapshot:
             nacks=stats.nacks,
             timeouts=stats.timeouts,
             mean_latency_us=stats.mean_latency_us(),
-            p99_latency_us=stats.percentile_latency_us(0.99)))
+            p50_latency_us=stats.histogram.p50,
+            p95_latency_us=stats.histogram.p95,
+            p99_latency_us=stats.histogram.p99,
+            p999_latency_us=stats.histogram.p999))
     return snap
 
 
@@ -200,9 +206,10 @@ def render(snap: ClusterSnapshot) -> str:
         for client in snap.clients:
             lines.append("%-10s ops %6d (ok %d / nf %d / fail %d)  "
                          "retry %d nack %d timeout %d  "
-                         "lat %.0f us p99 %.0f us"
+                         "lat %.0f us p50 %.0f p99 %.0f"
                          % (client.address, client.operations, client.ok,
                             client.not_found, client.failures,
                             client.retries, client.nacks, client.timeouts,
-                            client.mean_latency_us, client.p99_latency_us))
+                            client.mean_latency_us, client.p50_latency_us,
+                            client.p99_latency_us))
     return "\n".join(lines)

@@ -1,8 +1,12 @@
-"""Tests for the `python -m repro.bench` command-line runner."""
+"""Tests for the `python -m repro.bench` and `python -m repro.obs.trace`
+command-line runners."""
+
+import json
 
 import pytest
 
 from repro.bench.__main__ import EXPERIMENTS, main
+from repro.obs.trace import main as trace_main
 
 
 class TestCli:
@@ -32,3 +36,31 @@ class TestCli:
             module = importlib.import_module(
                 "repro.bench.experiments." + name)
             assert callable(module.run)
+
+
+class TestTraceCli:
+    def test_writes_chrome_trace_artifact(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert trace_main(["--ops", "6", "--output", str(out),
+                           "--metrics-output", str(metrics),
+                           "--metrics-interval-us", "5000"]) == 0
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        assert any(e["ph"] == "X" for e in events)
+        cats = {e["cat"] for e in events if e["ph"] == "X"}
+        assert {"client", "net", "engine", "device"} <= cats
+        assert json.loads(metrics.read_text())
+        err = capsys.readouterr().err
+        assert "traced" in err and "coverage" in err
+
+    def test_stdout_output(self, capsys):
+        assert trace_main(["--ops", "2", "--jbofs", "2"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out)["traceEvents"]
+
+    def test_deterministic_across_runs(self, tmp_path):
+        paths = [tmp_path / "a.json", tmp_path / "b.json"]
+        for path in paths:
+            assert trace_main(["--ops", "4", "--output", str(path)]) == 0
+        assert paths[0].read_bytes() == paths[1].read_bytes()
