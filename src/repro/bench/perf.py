@@ -1,0 +1,267 @@
+"""Wall-clock perf regression harness for the simulator datapath.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.perf            # full run
+    PYTHONPATH=src python -m repro.bench.perf --smoke    # CI-sized run
+    PYTHONPATH=src python -m repro.bench.perf --check    # fail on regression
+    PYTHONPATH=src python -m repro.bench.perf --rebaseline
+
+Runs fixed-seed YCSB-B / YCSB-C / write-heavy (WR) workloads against a
+quick-scale LEED cluster twice per trial: once with the batching knobs
+off (the digest-stable reference datapath) and once with
+``LeedOptions(fast_datapath=True, admission_batch=8)``.  Records
+wall-clock ops/sec, dispatched events/sec, and sim-time latency
+summaries into ``BENCH_perf.json``.
+
+Wall-clock throughput on shared CI machines is noisy (we have observed
++/-35% across back-to-back identical runs), so the harness interleaves
+knobs-off and knobs-on trials and reports the best of N for each mode:
+best-of is far more stable than mean under external interference, and
+interleaving means both modes sample the same machine conditions.  The
+frozen numbers in ``perf_baseline.json`` (measured pre-batching) are
+reported alongside for cross-commit context, but ``--check`` compares
+against them with a generous margin for exactly this reason.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.bench.harness import build_cluster, load_cluster, run_closed_loop
+from repro.core.jbof import LeedOptions
+from repro.workloads.ycsb import YCSBWorkload
+
+SEED = 11
+VALUE_SIZE = 256
+
+#: scale -> (records, ops, concurrency).  Must match perf_baseline.json.
+SCALES = {
+    "default": (600, 3000, 24),
+    "smoke": (300, 600, 24),
+}
+
+WORKLOADS = ("B", "C", "WR")
+
+#: ``--check`` fails if best knobs-on throughput drops below this
+#: fraction of the frozen baseline's knobs-off throughput.  The fast
+#: datapath measures ~1.7-2x the baseline, so even a 35% slower
+#: machine stays comfortably above 0.7x.
+CHECK_FLOOR = 0.7
+
+BASELINE_PATH = os.path.join(os.path.dirname(__file__), "perf_baseline.json")
+
+
+def fast_options() -> LeedOptions:
+    """The knobs-on configuration under test."""
+    return LeedOptions(fast_datapath=True, admission_batch=8)
+
+
+def run_once(workload_name: str, records: int, ops: int, concurrency: int,
+             options) -> dict:
+    """One measured closed-loop run; returns a BENCH_perf.json row.
+
+    Only the run phase is timed — cluster build and YCSB load are
+    setup.  Events/sec counts simulator events dispatched during the
+    run phase.
+    """
+    cluster = build_cluster("leed", scale="quick", value_size=VALUE_SIZE,
+                            seed=SEED, options=options)
+    workload = YCSBWorkload(workload_name, num_records=records, seed=SEED,
+                            value_size=VALUE_SIZE)
+    load_cluster(cluster, workload, parallelism=16)
+    events_before = cluster.sim.events_dispatched
+    started = time.perf_counter()
+    stats = run_closed_loop(cluster, workload, ops, concurrency)
+    wall_s = time.perf_counter() - started
+    events = cluster.sim.events_dispatched - events_before
+    cluster.shutdown()
+    cluster.sim.run()
+    return {
+        "ops": stats.completed,
+        "failed": stats.failed,
+        "wall_s": round(wall_s, 4),
+        "wall_ops_per_sec": round(stats.completed / wall_s, 1),
+        "events": events,
+        "events_per_sec": round(events / wall_s, 1),
+        "events_per_op": round(events / max(stats.completed, 1), 2),
+        "sim_elapsed_us": round(stats.elapsed_us, 3),
+        "sim_ops_per_sec": round(stats.throughput_qps, 1),
+        "mean_latency_us": round(stats.mean_latency_us(), 3),
+        "p99_latency_us": round(stats.percentile_us(0.99), 3),
+    }
+
+
+def measure_scale(scale: str, trials: int) -> dict:
+    """Interleaved best-of-N knobs-off vs knobs-on rows per workload."""
+    records, ops, concurrency = SCALES[scale]
+    best = {name: {"baseline": None, "fast": None} for name in WORKLOADS}
+    for trial in range(trials):
+        for name in WORKLOADS:
+            for mode, options in (("baseline", None), ("fast", fast_options())):
+                row = run_once(name, records, ops, concurrency, options)
+                row["trials"] = trials
+                current = best[name][mode]
+                if (current is None
+                        or row["wall_ops_per_sec"]
+                        > current["wall_ops_per_sec"]):
+                    best[name][mode] = row
+                print("  trial %d %s %s: %.0f ops/s (%.0f events/s)"
+                      % (trial, name, mode, row["wall_ops_per_sec"],
+                         row["events_per_sec"]))
+    return best
+
+
+def load_frozen_baseline() -> dict:
+    with open(BASELINE_PATH) as handle:
+        return json.load(handle)
+
+
+def summarize(scale: str, best: dict, frozen: dict) -> dict:
+    """Attach frozen-baseline numbers and speedup ratios."""
+    frozen_rows = frozen.get("scales", {}).get(scale, {})
+    report = {}
+    for name in WORKLOADS:
+        baseline = best[name]["baseline"]
+        fast = best[name]["fast"]
+        entry = {"baseline": baseline, "fast": fast}
+        entry["speedup_vs_measured_baseline"] = round(
+            fast["wall_ops_per_sec"] / baseline["wall_ops_per_sec"], 2)
+        frozen_row = frozen_rows.get(name)
+        if frozen_row:
+            entry["frozen_baseline_ops_per_sec"] = (
+                frozen_row["wall_ops_per_sec"])
+            entry["speedup_vs_frozen_baseline"] = round(
+                fast["wall_ops_per_sec"] / frozen_row["wall_ops_per_sec"], 2)
+        report[name] = entry
+    return report
+
+
+def check_regressions(report: dict) -> list:
+    """Rows failing the ``--check`` floor, as human-readable strings."""
+    failures = []
+    for name, entry in report.items():
+        frozen_ops = entry.get("frozen_baseline_ops_per_sec")
+        if frozen_ops is None:
+            continue
+        fast_ops = entry["fast"]["wall_ops_per_sec"]
+        if fast_ops < CHECK_FLOOR * frozen_ops:
+            failures.append(
+                "%s: fast datapath %.0f ops/s is below %.0f%% of the "
+                "frozen baseline %.0f ops/s"
+                % (name, fast_ops, CHECK_FLOOR * 100, frozen_ops))
+        if entry["fast"]["failed"] or entry["baseline"]["failed"]:
+            failures.append("%s: run reported failed operations" % name)
+    return failures
+
+
+def rebaseline(trials: int) -> None:
+    """Re-measure the knobs-off reference and rewrite perf_baseline.json."""
+    scales = {}
+    for scale in SCALES:
+        records, ops, concurrency = SCALES[scale]
+        rows = {}
+        for name in WORKLOADS:
+            best = None
+            for _ in range(trials):
+                row = run_once(name, records, ops, concurrency, None)
+                row.pop("events", None)
+                row.pop("events_per_sec", None)
+                row.pop("events_per_op", None)
+                if (best is None
+                        or row["wall_ops_per_sec"]
+                        > best["wall_ops_per_sec"]):
+                    best = row
+            rows[name] = best
+            print("rebaseline %s %s: %.0f ops/s"
+                  % (scale, name, best["wall_ops_per_sec"]))
+        scales[scale] = rows
+    payload = {
+        "note": ("Knobs-off wall-clock baseline for repro.bench.perf. "
+                 "Regenerate with: python -m repro.bench.perf --rebaseline "
+                 "(only on a machine comparable to CI)."),
+        "seed": SEED,
+        "value_size": VALUE_SIZE,
+        "scales": scales,
+    }
+    with open(BASELINE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % BASELINE_PATH)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.perf", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the CI-sized smoke scale only")
+    parser.add_argument("--check", action="store_true",
+                        help="exit nonzero if throughput regresses more "
+                             "than %d%% below the frozen baseline"
+                             % round((1 - CHECK_FLOOR) * 100))
+    parser.add_argument("--trials", type=int, default=3,
+                        help="interleaved trials per mode (default 3); "
+                             "best-of is reported")
+    parser.add_argument("--output", default="BENCH_perf.json",
+                        help="report path (default BENCH_perf.json)")
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="re-measure the knobs-off baseline and "
+                             "rewrite perf_baseline.json")
+    args = parser.parse_args(argv)
+
+    if args.rebaseline:
+        rebaseline(args.trials)
+        return 0
+
+    frozen = load_frozen_baseline()
+    scales = ("smoke",) if args.smoke else tuple(SCALES)
+    report = {
+        "seed": SEED,
+        "value_size": VALUE_SIZE,
+        "trials": args.trials,
+        "fast_options": {"fast_datapath": True, "admission_batch": 8},
+        "scales": {},
+    }
+    for scale in scales:
+        print("scale %s (%d records, %d ops, %d clients concurrency)"
+              % ((scale,) + SCALES[scale]))
+        best = measure_scale(scale, args.trials)
+        report["scales"][scale] = summarize(scale, best, frozen)
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % args.output)
+
+    for scale, rows in report["scales"].items():
+        for name, entry in rows.items():
+            print("%s/%s: baseline %.0f ops/s, fast %.0f ops/s "
+                  "(%.2fx measured%s)"
+                  % (scale, name,
+                     entry["baseline"]["wall_ops_per_sec"],
+                     entry["fast"]["wall_ops_per_sec"],
+                     entry["speedup_vs_measured_baseline"],
+                     ", %.2fx vs frozen"
+                     % entry["speedup_vs_frozen_baseline"]
+                     if "speedup_vs_frozen_baseline" in entry else ""))
+
+    if args.check:
+        failures = []
+        for rows in report["scales"].values():
+            failures.extend(check_regressions(rows))
+        if failures:
+            for line in failures:
+                print("PERF REGRESSION: %s" % line, file=sys.stderr)
+            return 1
+        print("perf check passed (floor %.0f%% of frozen baseline)"
+              % (CHECK_FLOOR * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

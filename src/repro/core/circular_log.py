@@ -309,6 +309,89 @@ class CircularLog:
             data = self._overlay_staged(virtual_offset, bytearray(data))
         return data
 
+    def read_at(self, virtual_offset: int, length: int, at: float):
+        """Analytic read (fast datapath): returns ``(data, done_us)``.
+
+        Synchronous variant of :meth:`read` for fused server paths:
+        same validation, wrap splitting and staged-byte overlay, but
+        the device model is charged starting at ``at`` and the
+        completion time is returned instead of yielded on.
+        """
+        if not self.contains(virtual_offset, length):
+            raise LogRangeError(
+                "%s: read [%d,+%d) outside window [%d,%d)"
+                % (self.name, virtual_offset, length, self.head, self.tail))
+        start_physical = virtual_offset % self.size
+        first_len = min(length, self.size - start_physical)
+        data, done = self.ssd.read_at(self.region_offset + start_physical,
+                                      first_len, at)
+        if first_len < length:
+            rest, rest_done = self.ssd.read_at(self.region_offset,
+                                               length - first_len, at)
+            data += rest
+            done = max(done, rest_done)
+        if self._staged:
+            data = self._overlay_staged(virtual_offset, bytearray(data))
+        return data, done
+
+    def charge_read_at(self, virtual_offset: int, length: int,
+                       at: float) -> float:
+        """:meth:`read_at` timing without fetching the bytes.
+
+        For callers that hold the decoded content cached: the device
+        model is charged exactly as for a real read (the simulated SSD
+        has no read cache), only the copy out is skipped.
+        """
+        if not self.contains(virtual_offset, length):
+            raise LogRangeError(
+                "%s: read [%d,+%d) outside window [%d,%d)"
+                % (self.name, virtual_offset, length, self.head, self.tail))
+        start_physical = virtual_offset % self.size
+        first_len = min(length, self.size - start_physical)
+        done = self.ssd.charge_read_at(first_len, at)
+        if first_len < length:
+            done = max(done, self.ssd.charge_read_at(length - first_len, at))
+        return done
+
+    def read_multi(self, extents, trace=None):
+        """Generator: vectored read of ``[(virtual_offset, length), ...]``.
+
+        Every extent is validated against the window up front (so a
+        racing compaction raises :class:`LogRangeError` before any
+        device work), mapped to physical ranges with wrap-around
+        splitting, and submitted through one
+        :meth:`~repro.hw.ssd.NVMeSSD.read_multi` doorbell.  Staged DRAM
+        bytes are overlaid per extent.  Returns the byte strings in
+        input order.
+        """
+        extents = list(extents)
+        for virtual_offset, length in extents:
+            if not self.contains(virtual_offset, length):
+                raise LogRangeError(
+                    "%s: read [%d,+%d) outside window [%d,%d)"
+                    % (self.name, virtual_offset, length, self.head, self.tail))
+        physical = []
+        parts = []  # per extent: indices into ``physical``
+        for virtual_offset, length in extents:
+            start_physical = virtual_offset % self.size
+            first_len = min(length, self.size - start_physical)
+            indices = [len(physical)]
+            physical.append((self.region_offset + start_physical, first_len))
+            if first_len < length:
+                indices.append(len(physical))
+                physical.append((self.region_offset, length - first_len))
+            parts.append(indices)
+        blobs = yield from self.ssd.read_multi(physical, trace=trace)
+        results = []
+        for (virtual_offset, length), indices in zip(extents, parts):
+            data = blobs[indices[0]]
+            if len(indices) > 1:
+                data = data + blobs[indices[1]]
+            if self._staged:
+                data = self._overlay_staged(virtual_offset, bytearray(data))
+            results.append(data)
+        return results
+
     def _overlay_staged(self, offset: int, data: bytearray) -> bytes:
         for block in self._touched_blocks(offset, len(data)):
             image = self._staged.get(block)

@@ -81,6 +81,13 @@ class FlowController:
         self._rr_index = 0
         self.stats = FlowStats()
         self._kick = Event(sim)
+        #: Fast path (``fast_datapath``): run scheduling rounds
+        #: synchronously from :meth:`_wake` instead of kicking the
+        #: scheduler process — saves one event per wake at the cost of
+        #: running the round inside the caller's stack frame.
+        self.inline_rounds = False
+        self._in_round = False
+        self._queued_count = 0
         self._runner = sim.process(self._run(), name=name + ".sched")
 
     # -- target state ------------------------------------------------------------
@@ -121,6 +128,7 @@ class FlowController:
             self._tenant_queues[tenant] = deque()
             self._tenant_order.append(tenant)
         self._tenant_queues[tenant].append(request)
+        self._queued_count += 1
         self._wake()
 
     def queued(self) -> int:
@@ -130,6 +138,17 @@ class FlowController:
     # -- scheduling loop (Algorithm 1) -------------------------------------------------
 
     def _wake(self) -> None:
+        if self.inline_rounds:
+            # Nothing queued -> nothing a round could submit.  (Inline
+            # mode only: the event-driven scheduler keeps its exact
+            # kick-per-wake schedule.)
+            if self.enabled and not self._in_round and self._queued_count:
+                self._in_round = True
+                try:
+                    self._schedule_round()
+                finally:
+                    self._in_round = False
+            return
         if not self._kick.triggered:
             self._kick.succeed()
 
@@ -157,11 +176,13 @@ class FlowController:
                 view = self.view(request.target)
                 if request.token_cost <= view.tokens:          # Alg.1 L5-7
                     queue.popleft()
+                    self._queued_count -= 1
                     view.tokens -= request.token_cost
                     self._submit(request)
                     progressed = True
                 elif view.outstanding < 1:                      # Alg.1 L9-13
                     queue.popleft()
+                    self._queued_count -= 1
                     view.tokens = 0
                     self.stats.nagle_probes += 1
                     self._submit(request)

@@ -51,6 +51,13 @@ class HashRing:
         entries = sorted((v.position, v.vnode_id) for v in vnodes)
         self._positions = [p for p, _ in entries]
         self._ids = [i for _, i in entries]
+        # Pure-compute memoization: ring snapshots are immutable, so a
+        # walk from a given start index always yields the same chain.
+        # Cached lists are shared — callers must treat them as
+        # read-only (all current callers do).
+        self._succ_cache: Dict[Tuple[int, int, bool], List[VNode]] = {}
+        self._chain_cache: Dict[bytes, List[VNode]] = {}
+        self._chain_ids_cache: Dict[bytes, List[str]] = {}
 
     def __len__(self) -> int:
         return len(self._ids)
@@ -71,6 +78,10 @@ class HashRing:
         if not self._ids:
             return []
         start = bisect_right(self._positions, position) % len(self._ids)
+        cache_key = (start, count, distinct_jbofs)
+        cached = self._succ_cache.get(cache_key)
+        if cached is not None:
+            return cached
         chosen: List[VNode] = []
         seen_jbofs = set()
         # First pass: distinct JBOFs.
@@ -81,6 +92,7 @@ class HashRing:
             chosen.append(vnode)
             seen_jbofs.add(vnode.jbof_address)
             if len(chosen) == count:
+                self._succ_cache[cache_key] = chosen
                 return chosen
         # Not enough distinct JBOFs: fill with remaining successors.
         for step in range(len(self._ids)):
@@ -90,15 +102,30 @@ class HashRing:
             chosen.append(vnode)
             if len(chosen) == count:
                 break
+        self._succ_cache[cache_key] = chosen
         return chosen
+
+    #: Bound on the per-snapshot key -> chain memo (keys recur heavily
+    #: under zipfian workloads; the cap just stops pathological growth).
+    CHAIN_CACHE_MAX = 65536
 
     def chain_for_key(self, key: bytes) -> List[VNode]:
         """The replication chain (head..tail) responsible for ``key``."""
-        return self.successors(ring_position(key), self.replication)
+        chain = self._chain_cache.get(key)
+        if chain is None:
+            chain = self.successors(ring_position(key), self.replication)
+            if len(self._chain_cache) < self.CHAIN_CACHE_MAX:
+                self._chain_cache[key] = chain
+        return chain
 
     def chain_ids_for_key(self, key: bytes) -> List[str]:
         """Chain member vnode ids (head..tail) for ``key``."""
-        return [v.vnode_id for v in self.chain_for_key(key)]
+        ids = self._chain_ids_cache.get(key)
+        if ids is None:
+            ids = [v.vnode_id for v in self.chain_for_key(key)]
+            if len(self._chain_ids_cache) < self.CHAIN_CACHE_MAX:
+                self._chain_ids_cache[key] = ids
+        return ids
 
     def owner_ranges(self, vnode_id: str) -> List[Tuple[int, int]]:
         """Ring arcs for which ``vnode_id`` appears in the chain.

@@ -21,8 +21,9 @@ fashion; the per-tenant allocation is piggybacked on every response
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Set
 
 from repro.core.datastore import LeedDataStore, OpResult
 from repro.sim.core import Simulator
@@ -38,9 +39,13 @@ TOKEN_COST = {"get": 2, "put": 3, "del": 2, "copy": 4}
 DEFAULT_TOKEN_CAPACITY = 96
 
 
-@dataclass
+@dataclass(eq=False)
 class KVCommand:
-    """One queued key-value command."""
+    """One queued key-value command.
+
+    ``eq=False`` keeps identity comparison/hashing so commands can sit
+    in the engine's active *set*.
+    """
 
     op: str
     key: bytes
@@ -82,7 +87,8 @@ class PartitionIOEngine:
 
     def __init__(self, sim: Simulator, store: LeedDataStore,
                  token_capacity: int = DEFAULT_TOKEN_CAPACITY,
-                 waiting_capacity: int = 64, name: str = "engine"):
+                 waiting_capacity: int = 64, name: str = "engine",
+                 admission_batch: int = 1):
         self.sim = sim
         self.store = store
         self.name = name
@@ -90,12 +96,28 @@ class PartitionIOEngine:
         self._tokens = token_capacity
         self.waiting: Store = Store(sim, capacity=waiting_capacity,
                                     name=name + ".waitq")
-        #: Commands currently executing (the active queue).
-        self.active: List[KVCommand] = []
+        #: Commands currently executing (the active queue).  A set:
+        #: retirement must not pay O(active) per command.
+        self.active: Set[KVCommand] = set()
         self.stats = EngineStats()
         #: Relative weights for tenant token allocation.
         self.tenant_weights: Dict[str, float] = {}
-        self._release_waiters: List[Event] = []
+        self._weight_total = 0.0
+        self._release_waiters: Deque[Event] = deque()
+        #: Max commands pulled from the waiting queue per scheduler
+        #: wakeup; runs of >= 2 admitted GETs execute through the
+        #: store's vectored ``multi_get`` when it has one.  1 keeps
+        #: the exact one-command-per-wakeup schedule.
+        self.admission_batch = max(int(admission_batch), 1)
+        self._multi_get = getattr(store, "multi_get", None)
+        #: Fast path (``fast_datapath``): admit a command synchronously
+        #: from :meth:`submit` when nothing is queued ahead of it and
+        #: tokens are free — skips the waiting-queue round trip.  FCFS
+        #: is preserved: the bypass requires an empty waiting queue and
+        #: no command parked mid-admission in the scheduler.
+        self.direct_admit = False
+        self._admitting = 0
+        self._get_at = getattr(store, "get_at", None)
         self._scheduler = sim.process(self._run(), name=name + ".sched")
 
     # -- admission ------------------------------------------------------------------
@@ -133,6 +155,32 @@ class PartitionIOEngine:
         if command.trace is not None:
             command.queue_span = command.trace.child(
                 "engine.queue", cat="engine", args={"engine": self.name})
+        if (self.direct_admit and self._admitting == 0
+                and not len(self.waiting)
+                and self._tokens >= command.token_cost):
+            if command.queue_span is not None:
+                command.queue_span.finish()
+                command.queue_span = None
+            self._tokens -= command.token_cost
+            command.started_at = self.sim.now
+            self.active.add(command)
+            if (command.op == "get" and command.trace is None
+                    and self._get_at is not None):
+                # Fully fused GET: the store computes the result and
+                # completion time synchronously; a single scheduled
+                # callback retires the command — no executor process.
+                try:
+                    result, done = self._get_at(command.key)
+                except Exception as exc:
+                    self._retire(command)
+                    command.completion.fail(exc)
+                    return command.completion
+                self.sim.schedule(done - self.sim.now,
+                                  lambda: self._complete(command, result))
+                return command.completion
+            self.sim.process(self._execute(command),
+                             name=self.name + ".exec")
+            return command.completion
         if not self.waiting.try_put(command):
             self.stats.rejected += 1
             if command.queue_span is not None:
@@ -159,7 +207,7 @@ class PartitionIOEngine:
         spare = self._tokens - len(self.waiting)
         weights = self.tenant_weights
         if weights:
-            total = sum(weights.values())
+            total = self._weight_total
             weight = weights.get(tenant, 1.0)
             spare = int(spare * weight / max(total, weight))
         return max(retiring_cost + spare, 0)
@@ -167,31 +215,77 @@ class PartitionIOEngine:
     def set_tenant_weight(self, tenant: str, weight: float) -> None:
         """Register a tenant's share of the spare token pool (§3.5)."""
         self.tenant_weights[tenant] = weight
+        self._weight_total = sum(self.tenant_weights.values())
 
     # -- execution loop -----------------------------------------------------------------
 
     def _run(self):
         while True:
             command: KVCommand = yield self.waiting.get()
-            if command.queue_span is not None:
-                command.queue_span.finish()
-                command.queue_span = None
-            # Wait for tokens (the active queue's serving capability).
-            token_ctx = None
-            if command.trace is not None and self._tokens < command.token_cost:
-                token_ctx = command.trace.child(
-                    "engine.tokens", cat="engine",
-                    args={"cost": command.token_cost})
-            while self._tokens < command.token_cost:
-                yield self._token_released()
-            if token_ctx is not None:
-                token_ctx.finish()
-            self._tokens -= command.token_cost
-            command.started_at = self.sim.now
-            self.stats.total_wait_us += command.started_at - command.enqueued_at
-            self.active.append(command)
+            self._admitting += 1
+            if self.admission_batch > 1:
+                batch = [command]
+                while len(batch) < self.admission_batch:
+                    extra = self.waiting.try_get()
+                    if extra is None:
+                        break
+                    batch.append(extra)
+                    self._admitting += 1
+                if len(batch) > 1:
+                    yield from self._admit_batch(batch)
+                    continue
+            yield from self._admit_one(command)
             self.sim.process(self._execute(command),
                              name=self.name + ".exec")
+
+    def _admit_one(self, command: KVCommand):
+        """Generator: wait for tokens and move ``command`` to active."""
+        if command.queue_span is not None:
+            command.queue_span.finish()
+            command.queue_span = None
+        # Wait for tokens (the active queue's serving capability).
+        token_ctx = None
+        if command.trace is not None and self._tokens < command.token_cost:
+            token_ctx = command.trace.child(
+                "engine.tokens", cat="engine",
+                args={"cost": command.token_cost})
+        while self._tokens < command.token_cost:
+            yield self._token_released()
+        if token_ctx is not None:
+            token_ctx.finish()
+        self._tokens -= command.token_cost
+        command.started_at = self.sim.now
+        self.stats.total_wait_us += command.started_at - command.enqueued_at
+        self.active.add(command)
+        self._admitting -= 1
+
+    def _admit_batch(self, batch: List[KVCommand]):
+        """Generator: admit a drained batch FCFS; group GET runs.
+
+        Consecutive admitted GETs (>= 2) execute through the store's
+        vectored ``multi_get``; everything else (and stores without
+        one) runs through the per-command path.
+        """
+        run: List[KVCommand] = []
+        for command in batch:
+            yield from self._admit_one(command)
+            if command.op == "get" and self._multi_get is not None:
+                run.append(command)
+                continue
+            self._spawn_run(run)
+            run = []
+            self.sim.process(self._execute(command),
+                             name=self.name + ".exec")
+        self._spawn_run(run)
+
+    def _spawn_run(self, run: List[KVCommand]) -> None:
+        if not run:
+            return
+        if len(run) == 1:
+            self.sim.process(self._execute(run[0]), name=self.name + ".exec")
+            return
+        self.sim.process(self._execute_batch(list(run)),
+                         name=self.name + ".exec")
 
     def _token_released(self) -> Event:
         event = Event(self.sim)
@@ -256,16 +350,55 @@ class PartitionIOEngine:
         if command.completion and not command.completion.triggered:
             command.completion.succeed(result)
 
-    def _retire(self, command: KVCommand) -> None:
+    def _execute_batch(self, commands: List[KVCommand]):
+        """One store round trip for a run of admitted GETs."""
+        spans = []
+        for command in commands:
+            if command.trace is not None:
+                spans.append((command, command.trace.child(
+                    "engine.exec.get", cat="engine",
+                    args={"batched": len(commands)})))
         try:
-            self.active.remove(command)
-        except ValueError:
-            pass
+            results = yield from self._multi_get(
+                [command.key for command in commands])
+        except Exception as exc:  # surface store errors to the waiters
+            for _command, span in spans:
+                span.finish({"error": type(exc).__name__})
+            for command in commands:
+                self._retire(command)
+                if command.completion and not command.completion.triggered:
+                    command.completion.fail(exc)
+            return
+        statuses = {command: result.status
+                    for command, result in zip(commands, results)}
+        for command, span in spans:
+            span.finish({"status": statuses[command]})
+        for command, result in zip(commands, results):
+            self._retire(command)
+            self.stats.completed += 1
+            self.stats.total_service_us += self.sim.now - command.started_at
+            if command.completion and not command.completion.triggered:
+                command.completion.succeed(result)
+
+    def _complete(self, command: KVCommand, result: OpResult) -> None:
+        """Retire a fused GET at its scheduled completion time."""
+        self._retire(command)
+        self.stats.completed += 1
+        self.stats.total_service_us += self.sim.now - command.started_at
+        if command.completion and not command.completion.triggered:
+            command.completion.succeed(result)
+
+    def _retire(self, command: KVCommand) -> None:
+        self.active.discard(command)
         self._tokens += command.token_cost
-        waiters, self._release_waiters = self._release_waiters, []
-        for event in waiters:
+        # Wake only the head waiter (FCFS): firing every queued release
+        # event per retirement was a thundering herd.
+        waiters = self._release_waiters
+        while waiters:
+            event = waiters.popleft()
             if not event.triggered:
                 event.succeed()
+                break
 
     def __repr__(self):
         return "<PartitionIOEngine %s tokens=%d wait=%d active=%d>" % (

@@ -92,6 +92,19 @@ class LeedOptions:
     maintenance_poll_us: float = 500.0
     #: Heartbeat period, µs.
     heartbeat_period_us: float = 50_000.0
+    #: Batched datapath (docs/performance.md).  ``fast_datapath``
+    #: switches CPU cores and SSD channels to analytic fast paths,
+    #: delivers NIC traffic without the rx-queue hop, runs client flow
+    #: rounds inline, issues client calls via callbacks, and coalesces
+    #: same-destination SENDs.  Default off: the one-event-per-step
+    #: schedule (and its digests) stays byte-identical.
+    fast_datapath: bool = False
+    #: Commands the partition engine may drain per scheduler wakeup;
+    #: runs of >= 2 GETs execute through the store's vectored
+    #: ``multi_get``.  1 = exact pre-batching admission schedule.
+    admission_batch: int = 1
+    #: Max deferred same-destination requests packed into one SEND.
+    rpc_coalesce_limit: int = 8
 
 
 @dataclass
@@ -211,9 +224,23 @@ class JBOFNode:
         self.rpc.register("do_copy", self._handle_do_copy)
         self.rpc.register("membership", self._handle_membership)
         self.rpc.register("version_query", self._handle_version_query)
+        if self.options.fast_datapath:
+            self._enable_fast_datapath()
         sim.process(self._maintenance(), name=address + ".maintenance")
         if control_plane_address is not None:
             sim.process(self._heartbeat_loop(), name=address + ".heartbeat")
+
+    def _enable_fast_datapath(self) -> None:
+        """Server half of the ``fast_datapath`` knob (docs/performance.md)."""
+        for core in self.cpu.cores:
+            core.fast_path = True
+        for ssd in self.ssds:
+            ssd.fast_path = True
+        for runtime in self.vnodes.values():
+            runtime.engine.direct_admit = True
+        self.rpc.qp.enable_fast_rx()
+        self.rpc.enable_fast_dispatch()
+        self.rpc.register_raw_sync("kv", self._handle_kv_fast)
 
     # -- construction -------------------------------------------------------------
 
@@ -251,7 +278,8 @@ class JBOFNode:
             self.sim, store,
             token_capacity=self.options.token_capacity,
             waiting_capacity=self.options.waiting_capacity,
-            name=vnode_id + ".engine")
+            name=vnode_id + ".engine",
+            admission_batch=self.options.admission_batch)
         compactor = Compactor(store, self.options.compaction)
         return VNodeRuntime(vnode_id, store, engine, compactor)
 
@@ -349,6 +377,63 @@ class JBOFNode:
         finally:
             if ctx is not None:
                 ctx.finish()
+
+    def _handle_kv_fast(self, src: str, request: RpcRequest) -> None:
+        """Synchronous KV dispatch (fast datapath): no handler process.
+
+        Clean-replica GETs — the overwhelming bulk of read traffic —
+        run entirely callback-style: validation inline, the engine
+        completion answering the client when it fires.  Everything
+        else (writes, dirty reads, traced requests) falls back to the
+        process-based path.  The ``rpc_receive`` cost is charged on
+        the net core's analytic horizon (busy accounting unchanged)
+        but dispatch no longer waits out that sub-microsecond charge.
+        """
+        body: KVRequest = request.body
+        if body.trace is not None:  # sampled: keep the exact traced path
+            self.sim.process(self._handle_kv(src, request),
+                             name="rpc-raw-kv@" + self.address)
+            return
+        self._net_core().charge_at(CYCLE_COSTS["rpc_receive"], self.sim.now)
+        runtime = self.vnodes.get(body.vnode_id)
+        if (runtime is None or runtime.state == JOINING or not self.alive
+                or (runtime.state == LEAVING and body.op != "get")):
+            self._respond(request, KVReply(
+                STATUS_UNAVAILABLE, ring_version=self.local_ring.version))
+            return
+        chain = self.local_ring.chain_ids_for_key(body.key)
+        if (body.hop >= len(chain) or chain[body.hop] != body.vnode_id
+                or body.vnode_id not in self.local_ring.vnodes):
+            runtime.stats.nacks += 1
+            self._respond(request, KVReply(
+                STATUS_NACK, ring_version=self.local_ring.version))
+            return
+        if body.op != "get":
+            self.sim.process(self._serve_write(runtime, request, body, chain),
+                             name="rpc-raw-kv@" + self.address)
+            return
+        if body.hop != len(chain) - 1 and runtime.is_dirty(body.key):
+            self.sim.process(self._serve_get(runtime, request, body, chain),
+                             name="rpc-raw-kv@" + self.address)
+            return
+
+        command = KVCommand("get", body.key, tenant=body.tenant)
+        completion = runtime.engine.submit(command)
+
+        def finish(event) -> None:
+            if event._ok:
+                result = event._value
+                self.requests_completed += 1
+            else:
+                event.defuse()
+                result = OpResult(STATUS_OVERLOADED)
+            runtime.stats.reads_served += 1
+            self._respond(request, self._reply_for(runtime, body, result))
+
+        if completion.triggered:
+            finish(completion)
+        else:
+            completion.callbacks.append(finish)
 
     def _dispatch_kv(self, src: str, request: RpcRequest, body: KVRequest):
         yield from self._net_core().execute(CYCLE_COSTS["rpc_receive"])

@@ -30,6 +30,13 @@ class Core:
         self._unit = Resource(sim, capacity=1, name=self.name)
         self.cycles_executed = 0
         self.busy_time_us = 0.0
+        #: Analytic FCFS fast path (``LeedOptions.fast_datapath``): work
+        #: reserves a slice of a free-at horizon instead of queueing on
+        #: the Resource, saving the grant event per work item.  Timing
+        #: is identical for serial work; concurrent items serialize in
+        #: reservation order rather than grant order.
+        self.fast_path = False
+        self._free_at = 0.0
 
     def us_for_cycles(self, cycles: int) -> float:
         """Wall time (µs) to execute ``cycles`` on this core."""
@@ -39,15 +46,43 @@ class Core:
         """Generator: occupy the core for ``cycles`` of work."""
         if cycles < 0:
             raise ValueError("negative cycle count")
-        yield self._unit.acquire()
         duration = self.us_for_cycles(cycles)
+        if self.fast_path:
+            start = max(self.sim.now, self._free_at)
+            self._free_at = start + duration
+            self.cycles_executed += cycles
+            self.busy_time_us += duration
+            yield self.sim.timeout(self._free_at - self.sim.now)
+            return
+        yield self._unit.acquire()
         yield self.sim.timeout(duration)
         self._unit.release()
         self.cycles_executed += cycles
         self.busy_time_us += duration
 
+    def charge_at(self, cycles: int, at: float) -> float:
+        """Analytic charge (fast datapath): returns the completion time.
+
+        Reserves ``cycles`` of work starting no earlier than ``at``
+        (>= now) on the free-at horizon, without yielding — fused
+        server paths chain these completion times and sleep once.
+        """
+        duration = self.us_for_cycles(cycles)
+        start = max(at, self._free_at)
+        self._free_at = start + duration
+        self.cycles_executed += cycles
+        self.busy_time_us += duration
+        return self._free_at
+
     def execute_us(self, duration_us: float):
         """Generator: occupy the core for a wall-time duration."""
+        if self.fast_path:
+            start = max(self.sim.now, self._free_at)
+            self._free_at = start + duration_us
+            self.cycles_executed += int(duration_us * self.freq_ghz * 1e3)
+            self.busy_time_us += duration_us
+            yield self.sim.timeout(self._free_at - self.sim.now)
+            return
         yield self._unit.acquire()
         yield self.sim.timeout(duration_us)
         self._unit.release()
@@ -56,11 +91,15 @@ class Core:
 
     @property
     def busy(self) -> bool:
-        return self._unit.in_use > 0
+        return self._unit.in_use > 0 or self._free_at > self.sim.now
 
     @property
     def queue_length(self) -> int:
         return self._unit.queue_length
+
+    def backlog_us(self) -> float:
+        """Reserved-but-unfinished work on the fast-path horizon."""
+        return max(self._free_at - self.sim.now, 0.0)
 
     def utilization(self) -> float:
         """Fraction of wall time spent executing since creation."""
@@ -92,7 +131,8 @@ class CpuComplex:
 
     def least_loaded(self) -> Core:
         """Core with the shortest queue (for work placement)."""
-        return min(self.cores, key=lambda c: (c.queue_length, c.busy))
+        return min(self.cores,
+                   key=lambda c: (c.queue_length, c.busy, c.backlog_us()))
 
     def total_cycles(self) -> int:
         return sum(core.cycles_executed for core in self.cores)

@@ -24,8 +24,9 @@ per-IO cost the paper calls out (§3.4).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro.hw.flash import FlashArray
 from repro.sim.core import Simulator
@@ -157,6 +158,13 @@ class NVMeSSD:
         # Aggregate write-bandwidth pacing: sustained writes cannot exceed
         # profile.write_bw_bpus even when channels are free.
         self._write_drain_free_at = 0.0
+        #: Analytic channel fast path (``LeedOptions.fast_datapath``):
+        #: channel admission is computed from a heap of busy-until
+        #: times instead of two Resource grants per I/O, so each I/O
+        #: costs a single timeout event.  Service times, jitter draws
+        #: and statistics are identical to the Resource-based path.
+        self.fast_path = False
+        self._chan_busy: list = []
 
     # -- properties ----------------------------------------------------------
 
@@ -184,6 +192,55 @@ class NVMeSSD:
             return mean_us
         return mean_us * self._rng.uniform(1.0 - j, 1.0 + j)
 
+    def _fast_admit(self, service_us: float) -> Tuple[float, float]:
+        """Analytic channel admission: returns ``(start, done)`` times.
+
+        Expired busy-until entries are pruned; when all channels are
+        busy the I/O starts when the earliest one frees — the same
+        FCFS order the channel Resource produces.
+        """
+        return self._fast_admit_at(service_us, self.sim.now)
+
+    def _fast_admit_at(self, service_us: float, at: float) -> Tuple[float, float]:
+        """:meth:`_fast_admit` for an I/O submitted at a future ``at``.
+
+        Entries are only pruned against ``sim.now`` so traffic
+        submitted between now and ``at`` still sees them as busy.
+        """
+        busy = self._chan_busy
+        now = self.sim.now
+        while busy and busy[0] <= now:
+            heapq.heappop(busy)
+        if len(busy) >= self.profile.channels:
+            start = max(heapq.heappop(busy), at)
+        else:
+            start = at
+        done = start + service_us
+        heapq.heappush(busy, done)
+        return start, done
+
+    def _batch_plan(self, services: Sequence[float], admitted: float) -> List[float]:
+        """Per-I/O completion times for one batched doorbell.
+
+        Fast path: the shared busy-until heap, so batches and single
+        I/Os contend for the same channels.  Slow path: a lane heap
+        local to the batch (cross-traffic contends only through the
+        queue-depth slot held for the whole batch).
+        """
+        if self.fast_path:
+            return [self._fast_admit(service)[1] for service in services]
+        lanes: list = []
+        dones = []
+        limit = max(self.profile.channels, 1)
+        for service in services:
+            if len(lanes) < limit:
+                done = admitted + service
+            else:
+                done = heapq.heappop(lanes) + service
+            heapq.heappush(lanes, done)
+            dones.append(done)
+        return dones
+
     # -- I/O generators ----------------------------------------------------------
 
     def read(self, offset: int, length: int, trace=None):
@@ -198,14 +255,21 @@ class NVMeSSD:
             ctx = trace.child("ssd.read", track=self.name, cat="device",
                               args={"bytes": length})
         submitted = self.sim.now
-        yield self._queue_slots.acquire()
-        yield self._channels.acquire()
-        admitted = self.sim.now
-        service = self._jittered(self.profile.read_service_us(max(length, 1)))
-        yield self.sim.timeout(service)
-        data = self.flash.read(offset, length)
-        self._channels.release()
-        self._queue_slots.release()
+        if self.fast_path:
+            service = self._jittered(self.profile.read_service_us(max(length, 1)))
+            start, done = self._fast_admit(service)
+            yield self.sim.timeout(done - submitted)
+            data = self.flash.read(offset, length)
+            admitted = start
+        else:
+            yield self._queue_slots.acquire()
+            yield self._channels.acquire()
+            admitted = self.sim.now
+            service = self._jittered(self.profile.read_service_us(max(length, 1)))
+            yield self.sim.timeout(service)
+            data = self.flash.read(offset, length)
+            self._channels.release()
+            self._queue_slots.release()
         completed = self.sim.now
         self.stats.reads_completed += 1
         self.stats.read_bytes += length
@@ -216,6 +280,40 @@ class NVMeSSD:
             ctx.finish({"queue_wait_us": admitted - submitted})
         return data
 
+    def read_at(self, offset: int, length: int, at: float) -> Tuple[bytes, float]:
+        """Analytic read (fast datapath): returns ``(data, done_us)``.
+
+        Synchronous companion to :meth:`read` for fused server paths:
+        admission, jitter draw and statistics are identical, but the
+        caller chains the returned completion time instead of yielding
+        on a timeout.  ``at`` is the submission time (>= now).
+        """
+        service = self._jittered(self.profile.read_service_us(max(length, 1)))
+        start, done = self._fast_admit_at(service, at)
+        data = self.flash.read(offset, length)
+        self.stats.reads_completed += 1
+        self.stats.read_bytes += length
+        self.stats.total_read_latency_us += done - at
+        self.stats.queue_wait_us += start - at
+        self.stats.busy_time_us += service
+        return data, done
+
+    def charge_read_at(self, length: int, at: float) -> float:
+        """:meth:`read_at` timing/statistics without the functional read.
+
+        Used by caches above the device (e.g. the store's decoded
+        segment cache): a cache hit still pays full device timing —
+        only the byte shuffling and decode compute are skipped.
+        """
+        service = self._jittered(self.profile.read_service_us(max(length, 1)))
+        start, done = self._fast_admit_at(service, at)
+        self.stats.reads_completed += 1
+        self.stats.read_bytes += length
+        self.stats.total_read_latency_us += done - at
+        self.stats.queue_wait_us += start - at
+        self.stats.busy_time_us += service
+        return done
+
     def write(self, offset: int, data: bytes, trace=None):
         """Program ``data`` at a block-aligned ``offset``; yields until durable."""
         ctx = None
@@ -223,20 +321,30 @@ class NVMeSSD:
             ctx = trace.child("ssd.write", track=self.name, cat="device",
                               args={"bytes": len(data)})
         submitted = self.sim.now
-        yield self._queue_slots.acquire()
-        yield self._channels.acquire()
-        admitted = self.sim.now
-        service = self._jittered(self.profile.write_service_us(max(len(data), 1)))
-        # Aggregate bandwidth pacing: each write reserves drain time on the
-        # device's shared program path.
-        drain = len(data) / self.profile.write_bw_bpus
-        start = max(self.sim.now, self._write_drain_free_at)
-        self._write_drain_free_at = start + drain
-        extra_wait = start - self.sim.now
-        yield self.sim.timeout(service + extra_wait)
-        self.flash.write(offset, data)
-        self._channels.release()
-        self._queue_slots.release()
+        if self.fast_path:
+            service = self._jittered(self.profile.write_service_us(max(len(data), 1)))
+            drain = len(data) / self.profile.write_bw_bpus
+            dstart = max(submitted, self._write_drain_free_at)
+            self._write_drain_free_at = dstart + drain
+            extra_wait = dstart - submitted
+            admitted, done = self._fast_admit(service)
+            yield self.sim.timeout(done + extra_wait - submitted)
+            self.flash.write(offset, data)
+        else:
+            yield self._queue_slots.acquire()
+            yield self._channels.acquire()
+            admitted = self.sim.now
+            service = self._jittered(self.profile.write_service_us(max(len(data), 1)))
+            # Aggregate bandwidth pacing: each write reserves drain time on the
+            # device's shared program path.
+            drain = len(data) / self.profile.write_bw_bpus
+            start = max(self.sim.now, self._write_drain_free_at)
+            self._write_drain_free_at = start + drain
+            extra_wait = start - self.sim.now
+            yield self.sim.timeout(service + extra_wait)
+            self.flash.write(offset, data)
+            self._channels.release()
+            self._queue_slots.release()
         completed = self.sim.now
         self.stats.writes_completed += 1
         self.stats.write_bytes += len(data)
@@ -246,6 +354,87 @@ class NVMeSSD:
         if ctx is not None:
             ctx.finish({"queue_wait_us": admitted - submitted})
         return len(data)
+
+    def read_multi(self, extents: Sequence[Tuple[int, int]], trace=None):
+        """Vectored read: one doorbell, per-I/O channel overlap.
+
+        ``extents`` is a sequence of ``(offset, length)`` pairs.  The
+        batch rings a single doorbell (one queue-depth slot covers the
+        whole submission), each I/O draws its own jittered service time
+        and occupies a flash channel, and the generator resumes once
+        the last I/O of the batch completes.  Returns the list of byte
+        strings in submission order.  Statistics count every I/O
+        individually (``reads_completed`` grows by ``len(extents)``).
+        """
+        extents = list(extents)
+        if not extents:
+            return []
+        ctx = None
+        if trace is not None:
+            ctx = trace.child("ssd.read_multi", track=self.name, cat="device",
+                              args={"ios": len(extents),
+                                    "bytes": sum(e[1] for e in extents)})
+        submitted = self.sim.now
+        if not self.fast_path:
+            yield self._queue_slots.acquire()
+        admitted = self.sim.now
+        services = [self._jittered(self.profile.read_service_us(max(length, 1)))
+                    for _offset, length in extents]
+        dones = self._batch_plan(services, admitted)
+        yield self.sim.timeout(max(dones) - self.sim.now)
+        data = [self.flash.read(offset, length) for offset, length in extents]
+        if not self.fast_path:
+            self._queue_slots.release()
+        self.stats.reads_completed += len(extents)
+        self.stats.read_bytes += sum(length for _offset, length in extents)
+        self.stats.total_read_latency_us += sum(done - submitted for done in dones)
+        self.stats.queue_wait_us += admitted - submitted
+        self.stats.busy_time_us += sum(services)
+        if ctx is not None:
+            ctx.finish({"queue_wait_us": admitted - submitted})
+        return data
+
+    def write_multi(self, writes: Sequence[Tuple[int, bytes]], trace=None):
+        """Vectored write: one doorbell, per-I/O channel overlap.
+
+        ``writes`` is a sequence of ``(offset, data)`` pairs.  The
+        batch reserves aggregate drain bandwidth for its total bytes,
+        then overlaps the per-I/O programs across channels like
+        :meth:`read_multi`.  Returns the total bytes written.
+        """
+        writes = list(writes)
+        if not writes:
+            return 0
+        total = sum(len(data) for _offset, data in writes)
+        ctx = None
+        if trace is not None:
+            ctx = trace.child("ssd.write_multi", track=self.name, cat="device",
+                              args={"ios": len(writes), "bytes": total})
+        submitted = self.sim.now
+        if not self.fast_path:
+            yield self._queue_slots.acquire()
+        admitted = self.sim.now
+        services = [self._jittered(self.profile.write_service_us(max(len(data), 1)))
+                    for _offset, data in writes]
+        drain = total / self.profile.write_bw_bpus
+        dstart = max(self.sim.now, self._write_drain_free_at)
+        self._write_drain_free_at = dstart + drain
+        extra_wait = dstart - self.sim.now
+        dones = self._batch_plan(services, admitted)
+        yield self.sim.timeout(max(dones) + extra_wait - self.sim.now)
+        for offset, data in writes:
+            self.flash.write(offset, data)
+        if not self.fast_path:
+            self._queue_slots.release()
+        self.stats.writes_completed += len(writes)
+        self.stats.write_bytes += total
+        self.stats.total_write_latency_us += sum(
+            done + extra_wait - submitted for done in dones)
+        self.stats.queue_wait_us += admitted - submitted
+        self.stats.busy_time_us += sum(services) + extra_wait
+        if ctx is not None:
+            ctx.finish({"queue_wait_us": admitted - submitted})
+        return total
 
     def trim(self, offset: int, length: int):
         """Discard a range; near-free on the device."""

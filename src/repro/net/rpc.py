@@ -62,6 +62,19 @@ class OneWay:
     nbytes: int
 
 
+@dataclass
+class RpcBatch:
+    """Several coalesced requests sharing one SEND (one envelope).
+
+    Produced by :meth:`RpcEndpoint.flush` when op coalescing packs
+    multiple same-destination deferred calls into a single doorbell;
+    the receiving dispatcher unpacks and serves each request
+    individually.
+    """
+
+    requests: list
+
+
 #: Fixed envelope overhead added to every request/response body.
 ENVELOPE_BYTES = 32
 
@@ -77,12 +90,22 @@ class RpcEndpoint:
         self.qp = QueuePair(sim, network, address)
         self._handlers: Dict[str, Handler] = {}
         self._raw_handlers: Dict[str, Handler] = {}
+        self._raw_sync_handlers: Dict[str, Handler] = {}
         self._pending: Dict[int, Event] = {}
         self._request_ids = itertools.count(1)
         self._response_region = self.qp.register_region(size=1 << 20)
         self.calls_sent = 0
         self.calls_served = 0
         self.notifications_sent = 0
+        #: Op coalescing (client side of the batched datapath): when
+        #: set, calls issued with ``defer=True`` buffer until
+        #: :meth:`flush`, which packs same-destination requests into
+        #: one SEND.  Callers that defer must flush before yielding.
+        self.coalesce = False
+        self.coalesce_limit = 8
+        self._send_buf: Dict[str, list] = {}
+        self.batches_sent = 0
+        self.batched_requests = 0
         sim.process(self._dispatch_requests(), name="rpc-dispatch@" + address)
         sim.process(self._dispatch_responses(), name="rpc-responses@" + address)
 
@@ -128,6 +151,18 @@ class RpcEndpoint:
                               request.reply_to, request.rkey)
         self.qp.post_send(dst, envelope, envelope.nbytes + ENVELOPE_BYTES)
 
+    def register_raw_sync(self, method: str, handler) -> None:
+        """Overlay a synchronous raw handler (fast datapath).
+
+        The handler is invoked inline at dispatch time — no handler
+        process — with ``(src_address, request)`` and must not yield;
+        like a raw handler it arranges the response itself (typically
+        via a completion callback).  Takes priority over a generator
+        raw handler registered for the same method, which remains the
+        fallback the sync handler may delegate slow cases to.
+        """
+        self._raw_sync_handlers[method] = handler
+
     def register(self, method: str, handler: Handler) -> None:
         """Register a generator-function handler for ``method``.
 
@@ -148,24 +183,35 @@ class RpcEndpoint:
         while True:
             completion: SendCompletion = yield self.qp.recv_cq.get()
             envelope = completion.payload
-            if isinstance(envelope, RpcRequest):
-                raw = self._raw_handlers.get(envelope.method)
-                if raw is not None:
-                    self.sim.process(
-                        self._run_raw(raw, completion.src, envelope),
-                        name="rpc-raw-%s@%s" % (envelope.method, self.address))
-                else:
-                    self.sim.process(
-                        self._serve(completion.src, envelope),
-                        name="rpc-serve-%s@%s" % (envelope.method, self.address))
-            elif isinstance(envelope, OneWay):
-                handler = self._handlers.get(envelope.method)
-                if handler is not None:
-                    self.sim.process(
-                        self._run_oneway(handler, completion.src, envelope.body),
-                        name="rpc-oneway-%s@%s" % (envelope.method, self.address))
-            else:  # pragma: no cover - protocol guard
-                raise RpcError("unexpected envelope %r" % (envelope,))
+            if isinstance(envelope, RpcBatch):
+                for request in envelope.requests:
+                    self._dispatch_one(completion.src, request)
+            else:
+                self._dispatch_one(completion.src, envelope)
+
+    def _dispatch_one(self, src: str, envelope) -> None:
+        if isinstance(envelope, RpcRequest):
+            sync = self._raw_sync_handlers.get(envelope.method)
+            if sync is not None:
+                sync(src, envelope)
+                return
+            raw = self._raw_handlers.get(envelope.method)
+            if raw is not None:
+                self.sim.process(
+                    self._run_raw(raw, src, envelope),
+                    name="rpc-raw-%s@%s" % (envelope.method, self.address))
+            else:
+                self.sim.process(
+                    self._serve(src, envelope),
+                    name="rpc-serve-%s@%s" % (envelope.method, self.address))
+        elif isinstance(envelope, OneWay):
+            handler = self._handlers.get(envelope.method)
+            if handler is not None:
+                self.sim.process(
+                    self._run_oneway(handler, src, envelope.body),
+                    name="rpc-oneway-%s@%s" % (envelope.method, self.address))
+        else:  # pragma: no cover - protocol guard
+            raise RpcError("unexpected envelope %r" % (envelope,))
 
     def _run_raw(self, handler, src: str, request: RpcRequest):
         result = handler(src, request)
@@ -205,6 +251,35 @@ class RpcEndpoint:
                                response_nbytes + ENVELOPE_BYTES,
                                imm=request.request_id)
 
+    def enable_fast_dispatch(self) -> None:
+        """Bypass the CQ consumer processes (fast datapath).
+
+        Inbound SENDs dispatch straight from delivery into
+        :meth:`_dispatch_one`, and inbound response WRITEs complete
+        their pending call event inline — one scheduled event less on
+        each side of every RPC.  The CQ consumer processes stay parked
+        on their now-idle Stores, so this is reversible per-message.
+        """
+        self.qp.recv_handler = self._on_request_delivery
+        self.qp.write_handler = self._on_response_delivery
+
+    def _on_request_delivery(self, completion: SendCompletion) -> None:
+        envelope = completion.payload
+        if isinstance(envelope, RpcBatch):
+            for request in envelope.requests:
+                self._dispatch_one(completion.src, request)
+        else:
+            self._dispatch_one(completion.src, envelope)
+
+    def _on_response_delivery(self, completion) -> None:
+        response: RpcResponse = completion.payload
+        waiter = self._pending.pop(completion.imm, None)
+        if waiter is not None and not waiter.triggered:
+            if isinstance(response.body, RpcError):
+                waiter.fail(response.body)
+            else:
+                waiter.succeed(response.body)
+
     # -- client side -----------------------------------------------------------------
 
     def _dispatch_responses(self):
@@ -219,12 +294,16 @@ class RpcEndpoint:
                     waiter.succeed(response.body)
 
     def call(self, dst: str, method: str, body: Any, nbytes: int,
-             timeout_us: Optional[float] = None) -> Event:
+             timeout_us: Optional[float] = None, defer: bool = False) -> Event:
         """Issue a request; returns an event yielding the response body.
 
         When ``timeout_us`` is given the event fails with
         :class:`RpcTimeout` if no response arrives in time (needed for
         failure handling — a partitioned node never answers).
+
+        ``defer=True`` (with :attr:`coalesce` set) buffers the SEND
+        until the next :meth:`flush` so several same-destination calls
+        share one doorbell; otherwise the SEND posts immediately.
 
         Tracing: when ``body`` carries a trace context (duck-typed —
         this layer never imports :mod:`repro.obs`), a ``rpc.<method>``
@@ -245,7 +324,10 @@ class RpcEndpoint:
         request = RpcRequest(request_id, method, body,
                              nbytes, self.address, self._response_region.key)
         self.calls_sent += 1
-        self.qp.post_send(dst, request, nbytes + ENVELOPE_BYTES)
+        if defer and self.coalesce:
+            self._send_buf.setdefault(dst, []).append(request)
+        else:
+            self.qp.post_send(dst, request, nbytes + ENVELOPE_BYTES)
         if timeout_us is not None:
             def expire():
                 pending = self._pending.pop(request_id, None)
@@ -255,6 +337,32 @@ class RpcEndpoint:
                         % (self.address, dst, method, timeout_us)))
             self.sim.schedule(timeout_us, expire)
         return waiter
+
+    def flush(self) -> None:
+        """Post deferred calls; same-destination requests share a SEND.
+
+        Runs of up to :attr:`coalesce_limit` requests to one
+        destination wrap into an :class:`RpcBatch` paying a single
+        envelope (and, below, a single wire-overhead charge); a lone
+        request posts exactly as an undeferred call would.  No-op when
+        nothing is buffered, so callers may invoke it unconditionally.
+        """
+        if not self._send_buf:
+            return
+        buffered, self._send_buf = self._send_buf, {}
+        for dst, requests in buffered.items():
+            for i in range(0, len(requests), self.coalesce_limit):
+                chunk = requests[i:i + self.coalesce_limit]
+                if len(chunk) == 1:
+                    request = chunk[0]
+                    self.qp.post_send(dst, request,
+                                      request.nbytes + ENVELOPE_BYTES)
+                    continue
+                nbytes = sum(request.nbytes for request in chunk)
+                self.qp.post_send(dst, RpcBatch(chunk),
+                                  nbytes + ENVELOPE_BYTES)
+                self.batches_sent += 1
+                self.batched_requests += len(chunk)
 
     def notify(self, dst: str, method: str, body: Any, nbytes: int) -> None:
         """One-way message; fire-and-forget."""

@@ -59,6 +59,10 @@ class Nic:
         self.address = address
         self.profile = profile or NIC_100G
         self.rx_queue: Store = Store(sim, name="rx@" + address)
+        #: Fast-path delivery callback (``QueuePair.enable_fast_rx``):
+        #: when set, the fabric hands arriving payloads straight to it
+        #: instead of the rx queue, saving the dequeue event.
+        self.rx_handler = None
         self._tx_free_at = 0.0
         self._rx_free_at = 0.0
         self.tx_bytes = 0
@@ -153,8 +157,12 @@ class Network:
             # mid-flight does not receive the message.
             if src in self._partitioned or dst in self._partitioned:
                 return
-            receiver.rx_queue.try_put(payload)
             self.messages_delivered += 1
+            handler = receiver.rx_handler
+            if handler is not None:
+                handler(payload)
+            else:
+                receiver.rx_queue.try_put(payload)
 
         self.sim.schedule(delay, deliver)
 

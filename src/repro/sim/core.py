@@ -5,6 +5,21 @@ entries and advances simulated time by popping the earliest entry and
 running its callbacks.  Time is a float; throughout this project the
 unit is **microseconds**, matching the scale at which NVMe and RDMA
 operations complete.
+
+Fast paths (see docs/performance.md):
+
+* zero-delay, normal-priority events — the bulk of the schedule:
+  process wakeups, ``Event.succeed``, immediate resumes — bypass the
+  heap through a FIFO ``deque``.  Dispatch order (and therefore the
+  schedule digest) is byte-identical to the pure-heap engine: every
+  entry still consumes a sequence number, entries already on the heap
+  for the current timestep always carry lower (priority, sequence)
+  keys, and interrupts (priority 0) still preempt the queue.
+* :meth:`Simulator.run_batch` drains same-timestamp events in an
+  inlined inner loop without re-entering the dispatch preamble
+  (deadline checks, heap access) between events.
+* dispatched :class:`Timeout` objects that provably have no remaining
+  references are recycled through a small pool (CPython only).
 """
 
 from __future__ import annotations
@@ -12,6 +27,8 @@ from __future__ import annotations
 import hashlib
 import heapq
 import struct
+import sys
+from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.errors import StopSimulation
@@ -20,6 +37,13 @@ from repro.sim.process import Process
 
 #: Default priority for scheduled events.  Interrupts use 0 (urgent).
 NORMAL_PRIORITY = 1
+
+#: Timeout recycling proves "no one else holds this object" via the
+#: CPython reference count; other interpreters skip the pool.
+_REFCOUNT_POOLING = sys.implementation.name == "cpython"
+
+#: Upper bound on pooled Timeout objects per simulator.
+_TIMEOUT_POOL_MAX = 256
 
 
 class Simulator:
@@ -41,10 +65,15 @@ class Simulator:
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: list = []
+        #: FIFO of (sequence, event) for zero-delay normal-priority
+        #: entries at the current timestep.
+        self._imm: deque = deque()
         self._sequence = 0
         self._active_process: Optional[Process] = None
         self._digest = None
         self._digest_events = 0
+        self._events_dispatched = 0
+        self._timeout_pool: list = []
 
     # -- inspection ---------------------------------------------------------
 
@@ -60,13 +89,18 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still on the schedule heap."""
-        return len(self._heap)
+        """Number of events still on the schedule (heap + immediate queue)."""
+        return len(self._heap) + len(self._imm)
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total events dispatched over this simulator's lifetime."""
+        return self._events_dispatched
 
     def enable_schedule_digest(self) -> None:
         """Start hashing the event schedule (determinism verifier).
 
-        Every popped heap entry folds its
+        Every popped schedule entry folds its
         ``(time, priority, sequence, event-kind)`` into a running
         SHA-256.  Two runs of the same seeded model must produce the
         same digest; any divergence pinpoints nondeterminism in the
@@ -92,7 +126,21 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing ``delay`` time units from now."""
+        """An event firing ``delay`` time units from now.
+
+        Reuses a pooled, already-dispatched Timeout when one is
+        available — identical semantics, no allocation.
+        """
+        pool = self._timeout_pool
+        if pool and delay >= 0:
+            timeout = pool.pop()
+            timeout.delay = delay
+            timeout.callbacks = []
+            timeout._ok = True
+            timeout._value = value
+            timeout._defused = False
+            self._schedule_event(timeout, delay=delay)
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
@@ -118,18 +166,50 @@ class Simulator:
     def _schedule_event(self, event: Event, delay: float = 0.0,
                         priority: int = NORMAL_PRIORITY) -> None:
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
+        if delay == 0.0 and priority == NORMAL_PRIORITY:
+            self._imm.append((self._sequence, event))
+        else:
+            heapq.heappush(self._heap, (self._now + delay, priority, self._sequence, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf when idle."""
+        if self._imm:
+            return self._now
         return self._heap[0][0] if self._heap else float("inf")
 
+    def _pop_next(self):
+        """Remove and return the next ``(when, priority, sequence, event)``.
+
+        Heap entries for the current timestep dispatch before immediate
+        entries whenever their (priority, sequence) key is lower —
+        exactly the order the pure-heap engine would have produced.
+        """
+        imm = self._imm
+        heap = self._heap
+        if imm:
+            now = self._now
+            if heap:
+                head = heap[0]
+                if head[0] == now and (
+                        head[1] < NORMAL_PRIORITY
+                        or (head[1] == NORMAL_PRIORITY and head[2] < imm[0][0])):
+                    return heapq.heappop(heap)
+            sequence, event = imm.popleft()
+            return (now, NORMAL_PRIORITY, sequence, event)
+        return heapq.heappop(heap)
+
     def step(self) -> None:
-        """Process the single next event.  Raises IndexError when empty."""
-        when, priority, sequence, event = heapq.heappop(self._heap)
+        """Process the single next event.  Raises IndexError when empty.
+
+        This is the reference dispatcher; :meth:`run_batch` inlines the
+        same logic.  Keeping both lets the determinism tests replay a
+        run event-by-event and compare schedule digests.
+        """
+        when, priority, sequence, event = self._pop_next()
         if when < self._now:  # pragma: no cover - heap invariant guard
             raise RuntimeError("time went backwards: %r < %r" % (when, self._now))
         self._now = when
+        self._events_dispatched += 1
         if self._digest is not None:
             self._digest.update(struct.pack("<dqq", when, priority, sequence))
             self._digest.update(type(event).__name__.encode("ascii"))
@@ -150,6 +230,15 @@ class Simulator:
         * an :class:`Event` — run until that event triggers, returning
           its value (re-raising its exception when it failed).
         """
+        return self.run_batch(until)
+
+    def run_batch(self, until: Any = None) -> Any:
+        """Run with the batched dispatch loop (same semantics as ``run``).
+
+        Drains same-timestamp immediate events back-to-back without
+        re-entering the dispatch preamble (deadline check, heap pop)
+        between them.  Dispatch order matches :meth:`step` exactly.
+        """
         stop_event: Optional[Event] = None
         if until is None:
             deadline = float("inf")
@@ -165,16 +254,60 @@ class Simulator:
             if deadline < self._now:
                 raise ValueError("cannot run until %r, now is %r" % (deadline, self._now))
 
+        heap = self._heap
+        imm = self._imm
+        pool = self._timeout_pool
+        recycle = _REFCOUNT_POOLING
+        getrefcount = sys.getrefcount
+        heappop = heapq.heappop
+        pack = struct.pack
+        dispatched = 0
         try:
-            while self._heap:
-                if self.peek() > deadline:
-                    self._now = deadline
-                    return None
-                self.step()
+            while heap or imm:
+                if imm:
+                    # Inner fast path: stay at the current timestep.
+                    when = self._now
+                    if heap:
+                        head = heap[0]
+                        if head[0] == when and (
+                                head[1] < NORMAL_PRIORITY
+                                or (head[1] == NORMAL_PRIORITY
+                                    and head[2] < imm[0][0])):
+                            when, priority, sequence, event = heappop(heap)
+                        else:
+                            sequence, event = imm.popleft()
+                            priority = NORMAL_PRIORITY
+                    else:
+                        sequence, event = imm.popleft()
+                        priority = NORMAL_PRIORITY
+                else:
+                    # Dispatch preamble: advance time via the heap.
+                    when = heap[0][0]
+                    if when > deadline:
+                        self._now = deadline
+                        return None
+                    when, priority, sequence, event = heappop(heap)
+                    self._now = when
+                dispatched += 1
+                if self._digest is not None:
+                    self._digest.update(pack("<dqq", when, priority, sequence))
+                    self._digest.update(type(event).__name__.encode("ascii"))
+                    self._digest_events += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (recycle and type(event) is Timeout
+                        and getrefcount(event) == 2
+                        and len(pool) < _TIMEOUT_POOL_MAX):
+                    pool.append(event)
         except StopSimulation as stop:
             if stop_event is not None and stop_event.triggered:
                 return self._event_outcome(stop_event)
             return stop.value
+        finally:
+            self._events_dispatched += dispatched
         if stop_event is not None and not stop_event.triggered:
             raise RuntimeError(
                 "run() until an event, but the simulation ran out of events "
@@ -199,4 +332,4 @@ class Simulator:
         raise StopSimulation(event._value if event._ok else None)
 
     def __repr__(self):
-        return "<Simulator t=%.3f pending=%d>" % (self._now, len(self._heap))
+        return "<Simulator t=%.3f pending=%d>" % (self._now, self.pending_events)

@@ -1,0 +1,270 @@
+"""Batched-datapath semantics: vectored I/O, coalesced RPC, fast paths.
+
+The batching layer must change *wall-clock* behaviour only: results,
+ordering, token accounting, and (with knobs off) the event-schedule
+digest all have to match the unbatched reference paths.
+"""
+
+import pytest
+
+from repro.bench.harness import build_cluster, load_cluster, run_closed_loop
+from repro.core.datastore import LeedDataStore, StoreConfig
+from repro.core.io_engine import KVCommand, PartitionIOEngine
+from repro.core.jbof import LeedOptions
+from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.sim.core import Simulator
+from repro.sim.rng import RngRegistry
+from repro.workloads.driver import ClosedLoopDriver, DriverStats
+from repro.workloads.ycsb import YCSBWorkload
+
+from conftest import drive
+
+
+def make_store(sim, jitter=0.0):
+    profile = SSDProfile(capacity_bytes=32 << 20, block_size=512,
+                         jitter=jitter)
+    ssd = NVMeSSD(sim, profile, rng=RngRegistry(5))
+    store = LeedDataStore(sim, ssd, StoreConfig(
+        num_segments=64, key_log_bytes=2 << 20, value_log_bytes=8 << 20))
+    return store, ssd
+
+
+class TestReadMulti:
+    PAYLOADS = [bytes([33 + i]) * 512 for i in range(6)]
+
+    def _roundtrip(self, sim, ssd):
+        def proc():
+            for i, payload in enumerate(self.PAYLOADS):
+                yield from ssd.write(i * 512, payload)
+            extents = [(i * 512, 512) for i in range(len(self.PAYLOADS))]
+            # Deliberately submit out of offset order: results must
+            # come back in submission order regardless.
+            extents.reverse()
+            chunks = yield from ssd.read_multi(extents)
+            return chunks
+
+        chunks = drive(sim, proc())
+        assert chunks == list(reversed(self.PAYLOADS))
+        assert ssd.stats.reads_completed == len(self.PAYLOADS)
+
+    def test_data_and_counts_event_path(self, sim, quiet_ssd):
+        self._roundtrip(sim, quiet_ssd)
+
+    def test_data_and_counts_fast_path(self, sim, quiet_ssd):
+        quiet_ssd.fast_path = True
+        self._roundtrip(sim, quiet_ssd)
+
+    def test_empty_batch(self, sim, quiet_ssd):
+        def proc():
+            return (yield from quiet_ssd.read_multi([]))
+
+        assert drive(sim, proc()) == []
+        assert quiet_ssd.stats.reads_completed == 0
+
+    def test_write_multi_totals(self, sim, quiet_ssd):
+        writes = [(i * 512, bytes([i + 1]) * 512) for i in range(4)]
+
+        def proc():
+            total = yield from quiet_ssd.write_multi(writes)
+            chunks = yield from quiet_ssd.read_multi(
+                [(off, len(data)) for off, data in writes])
+            return total, chunks
+
+        total, chunks = drive(sim, proc())
+        assert total == 4 * 512
+        assert chunks == [data for _off, data in writes]
+        assert quiet_ssd.stats.writes_completed == 4
+
+
+class TestMultiGet:
+    KEYS = [b"key-%d" % i for i in range(8)]
+
+    def test_results_in_input_order(self, sim):
+        store, _ssd = make_store(sim)
+
+        def proc():
+            for i, key in enumerate(self.KEYS):
+                yield from store.put(key, b"val-%d" % i)
+            wanted = list(reversed(self.KEYS)) + [b"missing"]
+            results = yield from store.multi_get(wanted)
+            return wanted, results
+
+        wanted, results = drive(sim, proc())
+        assert len(results) == len(wanted)
+        for key, result in zip(wanted[:-1], results[:-1]):
+            assert result.ok
+            index = self.KEYS.index(key)
+            assert result.value == b"val-%d" % index
+        assert results[-1].status == "not_found"
+
+    def test_logical_and_physical_access_counts(self, sim):
+        store, ssd = make_store(sim)
+
+        def proc():
+            for i, key in enumerate(self.KEYS):
+                yield from store.put(key, b"v%d" % i)
+            before = ssd.stats.reads_completed
+            results = yield from store.multi_get(self.KEYS)
+            return before, results
+
+        before, results = drive(sim, proc())
+        # Logical accounting matches the single-key path: 2 accesses
+        # per hit (key-log segment + value entry).
+        assert all(r.ok and r.nvme_accesses == 2 for r in results)
+        # Physical accounting is deduplicated: one read per distinct
+        # segment plus one per value entry — never more than the
+        # logical total, and at least one segment + N values.
+        physical = ssd.stats.reads_completed - before
+        assert len(self.KEYS) + 1 <= physical <= 2 * len(self.KEYS)
+
+    def test_matches_single_key_gets(self, sim):
+        store, _ssd = make_store(sim)
+
+        def proc():
+            for i, key in enumerate(self.KEYS):
+                yield from store.put(key, b"v%d" % i)
+            batched = yield from store.multi_get(self.KEYS)
+            singles = []
+            for key in self.KEYS:
+                singles.append((yield from store.get(key)))
+            return batched, singles
+
+        batched, singles = drive(sim, proc())
+        assert [r.value for r in batched] == [r.value for r in singles]
+
+
+class TestEngineBatchedAdmission:
+    def _run_burst(self, admission_batch):
+        sim = Simulator()
+        store, _ssd = make_store(sim)
+        engine = PartitionIOEngine(sim, store, token_capacity=6,
+                                   waiting_capacity=64, name="eng",
+                                   admission_batch=admission_batch)
+
+        def proc():
+            results = []
+            for i in range(16):
+                results.append(
+                    (yield engine.submit(KVCommand("put", b"k%d" % i,
+                                                   b"v%d" % i))))
+            gets = []
+            for i in range(16):
+                gets.append(
+                    (yield engine.submit(KVCommand("get", b"k%d" % i))))
+            return results, gets
+
+        results, gets = drive(sim, proc())
+        return engine, results, gets
+
+    @pytest.mark.parametrize("batch", [1, 4])
+    def test_all_commands_complete(self, batch):
+        engine, results, gets = self._run_burst(batch)
+        assert all(r.ok for r in results)
+        assert all(g.ok for g in gets)
+        assert [g.value for g in gets] == [b"v%d" % i for i in range(16)]
+        assert engine.stats.completed == 32
+        # Token pool fully returned once the burst drains.
+        assert engine.tokens == engine.token_capacity
+        assert engine.active_occupancy == 0
+
+
+class TestCoalescedRpc:
+    def _drive_cluster(self, options):
+        cluster = build_cluster("leed", scale="quick", value_size=128,
+                                seed=7, options=options)
+        workload = YCSBWorkload("B", num_records=80, seed=7, value_size=128)
+        load_cluster(cluster, workload, parallelism=16)
+        stats = run_closed_loop(cluster, workload, 200, 16)
+        cluster.shutdown()
+        cluster.sim.run()
+        return cluster, stats
+
+    def test_coalescing_batches_and_token_accounting(self):
+        cluster, stats = self._drive_cluster(
+            LeedOptions(fast_datapath=True, admission_batch=8))
+        assert stats.failed == 0
+        # At least one SEND actually carried multiple requests.
+        assert sum(c.rpc.batched_requests for c in cluster.clients) >= 2
+        # Flow-control token accounting drains cleanly: nothing left
+        # outstanding or queued once the run completes.
+        for client in cluster.clients:
+            assert client.flow.queued() == 0
+            for view in client.flow.targets.values():
+                assert view.outstanding == 0
+
+    def test_fast_datapath_matches_reference_results(self):
+        _off_cluster, off = self._drive_cluster(None)
+        _on_cluster, on = self._drive_cluster(
+            LeedOptions(fast_datapath=True, admission_batch=8))
+        assert off.failed == 0 and on.failed == 0
+        assert on.completed == off.completed
+
+
+class TestBatchingDeterminism:
+    RECORDS = 60
+    OPS = 120
+
+    def _digest(self, runner, options=None, seed=3):
+        """Build, load, and drive a small cluster entirely through
+        ``runner(sim, until)`` (a callable advancing the simulator),
+        so the whole schedule — not just the tail — goes through the
+        dispatcher under test."""
+        cluster = build_cluster("leed", scale="quick", value_size=96,
+                                seed=seed, options=options)
+        sim = cluster.sim
+        sim.enable_schedule_digest()
+        workload = YCSBWorkload("B", num_records=self.RECORDS, seed=seed,
+                                value_size=96)
+        cluster.start()
+        loaded = sim.process(
+            cluster.load(workload.load_pairs(), parallelism=16),
+            name="load")
+        runner(sim, loaded)
+        share = max(self.OPS // len(cluster.clients), 1)
+        drivers = [ClosedLoopDriver(sim, client, workload, share,
+                                    concurrency=4)
+                   for client in cluster.clients]
+        procs = [sim.process(driver.run(), name="drive")
+                 for driver in drivers]
+        runner(sim, sim.all_of(procs))
+        cluster.shutdown()
+        runner(sim, None)
+        stats = DriverStats()
+        for driver in drivers:
+            stats = stats.merge(driver.stats)
+        assert stats.completed >= self.OPS and stats.failed == 0
+        return sim.schedule_digest, sim.schedule_digest_events
+
+    @staticmethod
+    def _run(sim, until):
+        sim.run(until=until)
+
+    @staticmethod
+    def _run_batch(sim, until):
+        sim.run_batch(until=until)
+
+    @staticmethod
+    def _step(sim, until):
+        """Event-by-event replay through the reference dispatcher."""
+        if until is None:
+            while True:
+                try:
+                    sim.step()
+                except IndexError:
+                    return
+        while not until.triggered:
+            sim.step()
+
+    def test_knobs_off_same_seed_digest_stable(self):
+        assert self._digest(self._run) == self._digest(self._run)
+
+    def test_run_batch_matches_step_loop_digest(self):
+        assert self._digest(self._run_batch) == self._digest(self._step)
+
+    def test_knobs_on_same_seed_digest_stable(self):
+        """The fast datapath may *differ* from the reference schedule,
+        but it must still be deterministic for a fixed seed."""
+        options = LeedOptions(fast_datapath=True, admission_batch=8)
+        first = self._digest(self._run, options=options)
+        second = self._digest(self._run, options=options)
+        assert first == second
