@@ -134,13 +134,17 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
                   crrs: Optional[bool] = None, seed: int = 0,
                   num_nodes: Optional[int] = None,
                   num_clients: Optional[int] = None,
-                  replication: int = 3) -> LeedCluster:
+                  replication: int = 3, workers: int = 0) -> LeedCluster:
     """A scaled-down deployment of one of the three systems.
 
     Platforms keep their stock hardware models (full-speed SSDs, real
     power draws); only the *store geometry* is shrunk so runs finish
     in seconds.  The functional flash is sparse, so unused capacity
     costs nothing.
+
+    ``workers`` selects the partition-parallel engine
+    (:class:`~repro.core.cluster.ClusterConfig.workers`): 0 keeps the
+    classic single-simulator engine.
     """
     profile = scale_profile(scale, value_size)
     if system == "leed":
@@ -169,7 +173,7 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
         num_clients=(num_clients if num_clients is not None
                      else profile.num_clients),
         replication=replication,
-        store_config=store, options=options, seed=seed)
+        store_config=store, options=options, seed=seed, workers=workers)
     if flow_control is not None:
         for client in cluster.clients:
             client.flow.enabled = flow_control

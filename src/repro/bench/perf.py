@@ -5,6 +5,7 @@ Usage::
     PYTHONPATH=src python -m repro.bench.perf            # full run
     PYTHONPATH=src python -m repro.bench.perf --smoke    # CI-sized run
     PYTHONPATH=src python -m repro.bench.perf --check    # fail on regression
+    PYTHONPATH=src python -m repro.bench.perf --workers 4 --scale large
     PYTHONPATH=src python -m repro.bench.perf --rebaseline
 
 Runs fixed-seed YCSB-B / YCSB-C / write-heavy (WR) workloads against a
@@ -13,6 +14,14 @@ off (the digest-stable reference datapath) and once with
 ``LeedOptions(fast_datapath=True, admission_batch=8)``.  Records
 wall-clock ops/sec, dispatched events/sec, and sim-time latency
 summaries into ``BENCH_perf.json``.
+
+``--workers N`` runs the same workloads on the partition-parallel
+engine (:mod:`repro.sim.parallel`).  Rows then also carry per-shard
+schedule digests so CI can assert that ``--workers 1`` and
+``--workers 4`` executed byte-identical schedules; ``figure_digest``
+(a hash of the sim-derived metrics) is recorded in every mode so the
+serial engine can be compared too.  ``cpu_count`` is recorded because
+parallel wall-clock numbers are meaningless without it.
 
 Wall-clock throughput on shared CI machines is noisy (we have observed
 +/-35% across back-to-back identical runs), so the harness interleaves
@@ -27,6 +36,7 @@ against them with a generous margin for exactly this reason.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import sys
@@ -39,11 +49,21 @@ from repro.workloads.ycsb import YCSBWorkload
 SEED = 11
 VALUE_SIZE = 256
 
-#: scale -> (records, ops, concurrency).  Must match perf_baseline.json.
+#: scale -> run shape.  The ``default`` and ``smoke`` shapes must match
+#: ``perf_baseline.json``; ``large`` exists for parallel-engine speedup
+#: measurements and is intentionally absent from the frozen baseline.
 SCALES = {
-    "default": (600, 3000, 24),
-    "smoke": (300, 600, 24),
+    "default": {"records": 600, "ops": 3000, "concurrency": 24,
+                "num_jbofs": 3, "num_clients": 2},
+    "smoke": {"records": 300, "ops": 600, "concurrency": 24,
+              "num_jbofs": 3, "num_clients": 2},
+    "large": {"records": 2000, "ops": 20000, "concurrency": 64,
+              "num_jbofs": 4, "num_clients": 8},
 }
+
+#: scales captured in perf_baseline.json (``--rebaseline`` rewrites
+#: exactly these; ``large`` stays out so the frozen file never churns).
+FROZEN_SCALES = ("default", "smoke")
 
 WORKLOADS = ("B", "C", "WR")
 
@@ -61,27 +81,49 @@ def fast_options() -> LeedOptions:
     return LeedOptions(fast_datapath=True, admission_batch=8)
 
 
-def run_once(workload_name: str, records: int, ops: int, concurrency: int,
-             options) -> dict:
+def figure_digest(row: dict) -> str:
+    """Hash of the sim-derived metrics of a run row.
+
+    Covers only simulated-time results (never wall-clock), so equal
+    digests mean the runs produced the same figures regardless of
+    engine or machine speed.
+    """
+    figure = {key: row[key] for key in
+              ("ops", "failed", "sim_elapsed_us", "sim_ops_per_sec",
+               "mean_latency_us", "p99_latency_us")}
+    blob = json.dumps(figure, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+def run_once(workload_name: str, spec: dict, options,
+             workers: int = 0) -> dict:
     """One measured closed-loop run; returns a BENCH_perf.json row.
 
     Only the run phase is timed — cluster build and YCSB load are
     setup.  Events/sec counts simulator events dispatched during the
-    run phase.
+    run phase (summed across shards when ``workers > 0``).
     """
     cluster = build_cluster("leed", scale="quick", value_size=VALUE_SIZE,
-                            seed=SEED, options=options)
-    workload = YCSBWorkload(workload_name, num_records=records, seed=SEED,
-                            value_size=VALUE_SIZE)
+                            seed=SEED, options=options,
+                            num_nodes=spec["num_jbofs"],
+                            num_clients=spec["num_clients"],
+                            workers=workers)
+    if workers > 0:
+        # Before the first run(), hence before any fork: digests must
+        # be enabled while the shards still live in this process.
+        cluster.enable_schedule_digests()
+    workload = YCSBWorkload(workload_name, num_records=spec["records"],
+                            seed=SEED, value_size=VALUE_SIZE)
     load_cluster(cluster, workload, parallelism=16)
-    events_before = cluster.sim.events_dispatched
+    events_before = cluster.total_events_dispatched()
     started = time.perf_counter()
-    stats = run_closed_loop(cluster, workload, ops, concurrency)
+    stats = run_closed_loop(cluster, workload, spec["ops"],
+                            spec["concurrency"])
     wall_s = time.perf_counter() - started
-    events = cluster.sim.events_dispatched - events_before
+    events = cluster.total_events_dispatched() - events_before
     cluster.shutdown()
     cluster.sim.run()
-    return {
+    row = {
         "ops": stats.completed,
         "failed": stats.failed,
         "wall_s": round(wall_s, 4),
@@ -93,17 +135,23 @@ def run_once(workload_name: str, records: int, ops: int, concurrency: int,
         "sim_ops_per_sec": round(stats.throughput_qps, 1),
         "mean_latency_us": round(stats.mean_latency_us(), 3),
         "p99_latency_us": round(stats.percentile_us(0.99), 3),
+        "workers": workers,
     }
+    row["figure_digest"] = figure_digest(row)
+    if workers > 0:
+        row["shard_digests"] = cluster.shard_digests()
+    cluster.stop_workers()
+    return row
 
 
-def measure_scale(scale: str, trials: int) -> dict:
+def measure_scale(scale: str, trials: int, workers: int = 0) -> dict:
     """Interleaved best-of-N knobs-off vs knobs-on rows per workload."""
-    records, ops, concurrency = SCALES[scale]
+    spec = SCALES[scale]
     best = {name: {"baseline": None, "fast": None} for name in WORKLOADS}
     for trial in range(trials):
         for name in WORKLOADS:
             for mode, options in (("baseline", None), ("fast", fast_options())):
-                row = run_once(name, records, ops, concurrency, options)
+                row = run_once(name, spec, options, workers=workers)
                 row["trials"] = trials
                 current = best[name][mode]
                 if (current is None
@@ -122,7 +170,7 @@ def load_frozen_baseline() -> dict:
 
 
 def summarize(scale: str, best: dict, frozen: dict) -> dict:
-    """Attach frozen-baseline numbers and speedup ratios."""
+    """Attach frozen-baseline numbers, speedups, and latency parity."""
     frozen_rows = frozen.get("scales", {}).get(scale, {})
     report = {}
     for name in WORKLOADS:
@@ -131,6 +179,16 @@ def summarize(scale: str, best: dict, frozen: dict) -> dict:
         entry = {"baseline": baseline, "fast": fast}
         entry["speedup_vs_measured_baseline"] = round(
             fast["wall_ops_per_sec"] / baseline["wall_ops_per_sec"], 2)
+        # Sim-time latency parity: the fast datapath is a wall-clock
+        # optimisation and must not inflate *simulated* latencies.
+        # Ratios near 1.0 mean the knobs change how fast we simulate,
+        # not what we simulate.
+        entry["latency_parity"] = {
+            "mean_ratio": round(fast["mean_latency_us"]
+                                / baseline["mean_latency_us"], 4),
+            "p99_ratio": round(fast["p99_latency_us"]
+                               / baseline["p99_latency_us"], 4),
+        }
         frozen_row = frozen_rows.get(name)
         if frozen_row:
             entry["frozen_baseline_ops_per_sec"] = (
@@ -162,13 +220,13 @@ def check_regressions(report: dict) -> list:
 def rebaseline(trials: int) -> None:
     """Re-measure the knobs-off reference and rewrite perf_baseline.json."""
     scales = {}
-    for scale in SCALES:
-        records, ops, concurrency = SCALES[scale]
+    for scale in FROZEN_SCALES:
+        spec = SCALES[scale]
         rows = {}
         for name in WORKLOADS:
             best = None
             for _ in range(trials):
-                row = run_once(name, records, ops, concurrency, None)
+                row = run_once(name, spec, None)
                 row.pop("events", None)
                 row.pop("events_per_sec", None)
                 row.pop("events_per_op", None)
@@ -199,7 +257,15 @@ def main(argv=None) -> int:
         prog="python -m repro.bench.perf", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("--smoke", action="store_true",
-                        help="run the CI-sized smoke scale only")
+                        help="run the CI-sized smoke scale only "
+                             "(alias for --scale smoke)")
+    parser.add_argument("--scale", choices=tuple(SCALES),
+                        help="run a single scale; without this (or "
+                             "--smoke) the frozen-baseline scales run")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="partition-parallel engine worker count "
+                             "(0 = classic serial engine; 1 = sharded "
+                             "in-process; N>=2 = forked workers)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero if throughput regresses more "
                              "than %d%% below the frozen baseline"
@@ -219,18 +285,28 @@ def main(argv=None) -> int:
         return 0
 
     frozen = load_frozen_baseline()
-    scales = ("smoke",) if args.smoke else tuple(SCALES)
+    if args.scale:
+        scales = (args.scale,)
+    elif args.smoke:
+        scales = ("smoke",)
+    else:
+        scales = FROZEN_SCALES
     report = {
         "seed": SEED,
         "value_size": VALUE_SIZE,
         "trials": args.trials,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
         "fast_options": {"fast_datapath": True, "admission_batch": 8},
         "scales": {},
     }
     for scale in scales:
-        print("scale %s (%d records, %d ops, %d clients concurrency)"
-              % ((scale,) + SCALES[scale]))
-        best = measure_scale(scale, args.trials)
+        spec = SCALES[scale]
+        print("scale %s (%d records, %d ops, %d concurrency, %d jbofs, "
+              "%d clients, workers=%d)"
+              % (scale, spec["records"], spec["ops"], spec["concurrency"],
+                 spec["num_jbofs"], spec["num_clients"], args.workers))
+        best = measure_scale(scale, args.trials, workers=args.workers)
         report["scales"][scale] = summarize(scale, best, frozen)
 
     with open(args.output, "w") as handle:
@@ -241,14 +317,16 @@ def main(argv=None) -> int:
     for scale, rows in report["scales"].items():
         for name, entry in rows.items():
             print("%s/%s: baseline %.0f ops/s, fast %.0f ops/s "
-                  "(%.2fx measured%s)"
+                  "(%.2fx measured%s), latency parity mean %.3f p99 %.3f"
                   % (scale, name,
                      entry["baseline"]["wall_ops_per_sec"],
                      entry["fast"]["wall_ops_per_sec"],
                      entry["speedup_vs_measured_baseline"],
                      ", %.2fx vs frozen"
                      % entry["speedup_vs_frozen_baseline"]
-                     if "speedup_vs_frozen_baseline" in entry else ""))
+                     if "speedup_vs_frozen_baseline" in entry else "",
+                     entry["latency_parity"]["mean_ratio"],
+                     entry["latency_parity"]["p99_ratio"]))
 
     if args.check:
         failures = []

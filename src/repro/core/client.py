@@ -149,7 +149,7 @@ class FrontEndClient:
         self.tracer = tracer
         self.trace_sample_interval = trace_sample_interval
         self._trace_seq = 0
-        network.attach(address, nic_profile)
+        network.attach(address, nic_profile, sim=sim)
         self.rpc = RpcEndpoint(sim, network, address)
         self.flow = FlowController(sim, enabled=flow_control,
                                    name=address + ".flow")

@@ -63,6 +63,18 @@ class ClusterConfig:
     #: Metrics sampling period for :class:`MetricsRegistry`
     #: (0 disables the background sampler).
     metrics_interval_us: float = 0.0
+    #: Partition-parallel execution (:mod:`repro.sim.parallel`).
+    #: 0 = the classic single-simulator engine; 1 = sharded engine
+    #: stepped in-process (one shard per JBOF plus the coordinator
+    #: shard holding clients and the control plane); N >= 2 = shards
+    #: spread over N OS processes (forked lazily at the first run).
+    #: ``workers=1`` and ``workers=N`` produce byte-identical
+    #: per-shard schedule digests and figure metrics; with
+    #: ``workers >= 2`` node-object state in this process goes stale
+    #: after the first run — use :meth:`LeedCluster.shard_reports`
+    #: (and the probe-backed :meth:`LeedCluster.energy_joules`) for
+    #: cross-shard reporting.
+    workers: int = 0
 
     @classmethod
     def from_overrides(cls, **overrides) -> "ClusterConfig":
@@ -89,7 +101,24 @@ class LeedCluster:
         elif overrides:
             raise ValueError("pass either a config or keyword overrides")
         self.config = config
-        self.sim = Simulator()
+        self.engine = None
+        if config.workers > 0:
+            if config.workers >= 2 and config.trace_sample_interval:
+                raise ValueError(
+                    "request tracing needs workers <= 1: trace contexts "
+                    "cannot cross worker-process boundaries")
+            if config.workers >= 2 and config.metrics_interval_us > 0:
+                raise ValueError(
+                    "the background metrics sampler needs workers <= 1: "
+                    "it reads node state across shards")
+            from repro.sim.parallel import CoordinatorSimulator
+            self.sim = CoordinatorSimulator()
+            self._shard_sims = {0: self.sim}
+            for index in range(config.num_jbofs):
+                self._shard_sims[index + 1] = Simulator()
+        else:
+            self.sim = Simulator()
+            self._shard_sims = {0: self.sim}
         self.rng = RngRegistry(config.seed)
         self.network = Network(self.sim)
         #: Observability layer: spans + metrics for this deployment.
@@ -101,7 +130,8 @@ class LeedCluster:
         self.jbofs: List[JBOFNode] = []
         for index in range(config.num_jbofs):
             node = config.node_class(
-                self.sim, self.network, "jbof%d" % index,
+                self._shard_sims.get(index + 1, self.sim),
+                self.network, "jbof%d" % index,
                 spec=config.platform, num_ssds=config.ssds_per_jbof,
                 vnodes_per_ssd=config.vnodes_per_ssd,
                 store_config=config.store, options=config.options,
@@ -131,6 +161,19 @@ class LeedCluster:
             self.control_plane.subscribe(client.address)
             self.metrics.register_histogram(
                 "%s.latency" % client.address, client.stats.histogram)
+        if config.workers > 0:
+            from repro.sim.parallel import ParallelEngine, ShardPlan
+            plan = ShardPlan.for_cluster(
+                self.control_plane.address,
+                [client.address for client in self.clients],
+                [node.address for node in self.jbofs])
+            self.network.configure_shards(plan.shard_of, self._shard_sims)
+            probes = {index + 1: self._node_probe(node)
+                      for index, node in enumerate(self.jbofs)}
+            self.engine = ParallelEngine(
+                self.network, self._shard_sims, config.workers,
+                probes=probes)
+            self.sim.bind_engine(self.engine)
         self._started = False
         self._shut_down = False
 
@@ -159,11 +202,28 @@ class LeedCluster:
         """
         if self._shut_down:
             return
+        # Nodes are told to stop over the network, not through object
+        # references: under partition-parallel execution the live node
+        # state may be in another worker process, and using the same
+        # RPC in every mode keeps serial and ``workers=1`` schedules
+        # identical.  The notify lands on the next ``sim.run()`` (the
+        # usual "shutdown then drain" pattern); crashed nodes are
+        # partitioned and simply never hear it.
         for node in self.jbofs:
-            node.stop()
+            self.control_plane.rpc.notify(node.address, "node_stop", None, 16)
         self.control_plane.stop()
         self.metrics.stop()
         self._shut_down = True
+
+    def stop_workers(self) -> None:
+        """Tear down parallel worker processes (no-op otherwise).
+
+        Call after the final ``sim.run()``: the engine snapshots every
+        shard's report first, so :meth:`shard_reports` and
+        :meth:`energy_joules` keep answering from the snapshot.
+        """
+        if self.engine is not None:
+            self.engine.stop_workers()
 
     def __enter__(self) -> "LeedCluster":
         self.start()
@@ -190,8 +250,64 @@ class LeedCluster:
         """Client-visible successful operations so far."""
         return sum(c.stats.ok + c.stats.not_found for c in self.clients)
 
+    @staticmethod
+    def _node_probe(node):
+        """Shard report payload for one JBOF, run by the owning worker."""
+        return lambda: {
+            "address": node.address,
+            "energy_joules": cluster_energy([node.meter]),
+            "requests_completed": node.requests_completed,
+        }
+
+    def enable_schedule_digests(self) -> None:
+        """Turn on schedule digests for every shard simulator.
+
+        Must be called before the first run when ``workers >= 2``
+        (worker processes inherit the digest state at fork).
+        """
+        if self.engine is not None:
+            self.engine.enable_schedule_digests()
+        else:
+            self.sim.enable_schedule_digest()
+
+    def shard_reports(self) -> Dict[int, dict]:
+        """Per-shard ``{now, events_dispatched, schedule_digest, ...}``.
+
+        In parallel mode the reports come from whichever process owns
+        each shard; the serial engine reports its single shard 0.
+        """
+        if self.engine is not None:
+            return self.engine.collect()
+        return {0: {
+            "shard": 0,
+            "now": self.sim.now,
+            "events_dispatched": self.sim.events_dispatched,
+            "schedule_digest": self.sim.schedule_digest,
+            "digest_events": self.sim.schedule_digest_events,
+        }}
+
+    def shard_digests(self) -> Dict[int, Optional[str]]:
+        """Schedule digest per shard (None when digests are disabled)."""
+        return {sid: report["schedule_digest"]
+                for sid, report in self.shard_reports().items()}
+
+    def total_events_dispatched(self) -> int:
+        """Events dispatched across every shard simulator."""
+        if self.engine is not None:
+            return sum(report["events_dispatched"]
+                       for report in self.engine.collect().values())
+        return self.sim.events_dispatched
+
     def energy_joules(self) -> float:
-        """Total back-end energy so far (clients excluded, as in §4.3)."""
+        """Total back-end energy so far (clients excluded, as in §4.3).
+
+        Once parallel workers own the JBOF shards, the local node
+        objects stop advancing — the figure comes from shard probes.
+        """
+        if self.engine is not None and self.engine.forked:
+            return sum(report["probe"]["energy_joules"]
+                       for report in self.engine.collect().values()
+                       if "probe" in report)
         return cluster_energy([node.meter for node in self.jbofs])
 
     def energy_report(self, label: str = "") -> EnergyReport:

@@ -180,7 +180,7 @@ class JBOFNode:
         self.rng = rng or RngRegistry()
         self.control_plane_address = control_plane_address
 
-        network.attach(address, nic_profile or NIC_100G)
+        network.attach(address, nic_profile or NIC_100G, sim=sim)
         self.rpc = RpcEndpoint(sim, network, address)
         self.cpu = CpuComplex(sim, spec.num_cores, spec.freq_ghz,
                               name=address + ".cpu")
@@ -222,6 +222,9 @@ class JBOFNode:
         self.rpc.register("copy_batch", self._handle_copy_batch)
         self.rpc.register("copy_mirror", self._handle_copy_mirror)
         self.rpc.register("do_copy", self._handle_do_copy)
+        self.rpc.register("mirror_begin", self._handle_mirror_begin)
+        self.rpc.register("mirror_end", self._handle_mirror_end)
+        self.rpc.register("node_stop", self._handle_node_stop)
         self.rpc.register("membership", self._handle_membership)
         self.rpc.register("version_query", self._handle_version_query)
         if self.options.fast_datapath:
@@ -664,6 +667,19 @@ class JBOFNode:
         self._mirrors[src_vnode] = [m for m in mirrors
                                     if m["dst_vnode"] != dst_vnode]
 
+    def _handle_mirror_begin(self, src: str, body: dict):
+        """RPC entry point for control-plane mirror setup (precedes
+        ``do_copy`` on the same connection, so FIFO delivery makes the
+        mirror active before the COPY scan starts)."""
+        self.begin_mirror(body["src_vnode"], body["arcs"],
+                          body["dst_vnode"], body["dst_address"])
+        return None
+
+    def _handle_mirror_end(self, src: str, body: dict):
+        """RPC entry point for control-plane mirror teardown."""
+        self.end_mirror(body["src_vnode"], body["dst_vnode"])
+        return None
+
     def _mirror_write(self, vnode_id: str, key: bytes, value: bytes) -> None:
         from repro.core.hashring import in_arcs, ring_position
         for mirror in self._mirrors.get(vnode_id, []):
@@ -740,6 +756,13 @@ class JBOFNode:
         their next poll.  Unlike :meth:`crash` the node stays on the
         network, so in-flight responses still drain."""
         self.alive = False
+
+    def _handle_node_stop(self, src: str, body) -> None:
+        """RPC entry point for cluster shutdown (the cluster reaches
+        nodes over the network, never through object references, so
+        the same teardown works when nodes live on other shards)."""
+        self.stop()
+        return None
 
     def crash(self) -> None:
         """Fail-stop: drop off the network and stop serving."""

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.hashring import HashRing, VNode, in_arcs, ring_position
+from repro.core.hashring import HashRing, VNode
 from repro.core.jbof import JOINING, LEAVING, RUNNING, JBOFNode
 from repro.core.protocol import Heartbeat, MembershipUpdate
 from repro.net.rpc import RpcEndpoint, RpcTimeout
@@ -82,7 +82,7 @@ class ControlPlane:
         self.replication = replication
         self.heartbeat_timeout_us = heartbeat_timeout_us
         self.push_delay_jitter_us = push_delay_jitter_us
-        network.attach(address)
+        network.attach(address, sim=sim)
         self.rpc = RpcEndpoint(sim, network, address)
         self.vnodes: Dict[str, VNodeInfo] = {}
         self.ring_version = 0
@@ -346,29 +346,36 @@ class ControlPlane:
         return tasks
 
     def _run_copy_tasks(self, tasks: List[CopyTask]):
-        """Generator: run COPY tasks on their source JBOFs, in parallel."""
-        processes = []
+        """Generator: drive COPY tasks on their source JBOFs, over RPC.
+
+        The control plane never calls into node objects at runtime —
+        each source is told to start mirroring (``mirror_begin``), runs
+        the COPY itself (``do_copy``), and tears the mirror down
+        (``mirror_end``).  Per-pair FIFO delivery guarantees the mirror
+        is active before the source starts scanning, so writes
+        committed during the COPY are never lost.  All COPYs are
+        issued up front and awaited together, preserving the parallel
+        schedule of the earlier in-process implementation.
+        """
+        calls = []
         for task in tasks:
-            node = self._jbofs.get(task.src_address)
-            if node is None or not node.alive:
-                continue
-            arcs = list(task.arcs)
-            predicate = (lambda key, arcs=arcs:
-                         in_arcs(ring_position(key), arcs))
-            node.begin_mirror(task.src_vnode, arcs, task.dst_vnode,
-                              task.dst_address)
-            processes.append((task, self.sim.process(
-                node.copy_out(task.src_vnode, task.dst_vnode,
-                              task.dst_address, predicate=predicate),
-                name="copy.%s->%s" % (task.src_vnode, task.dst_vnode))))
-        for task, process in processes:
+            if task.src_address in self._failed:
+                continue  # dead source: failure handling re-plans
+            body = {"src_vnode": task.src_vnode,
+                    "arcs": [tuple(arc) for arc in task.arcs],
+                    "dst_vnode": task.dst_vnode,
+                    "dst_address": task.dst_address}
+            self.rpc.notify(task.src_address, "mirror_begin", body, 64)
+            calls.append((task, self.rpc.call(
+                task.src_address, "do_copy", body, 64, timeout_us=5e6)))
+        for task, call in calls:
             try:
-                yield process
+                yield call
             except Exception:
                 pass  # a source died mid-copy; failure handling re-plans
-            node = self._jbofs.get(task.src_address)
-            if node is not None:
-                node.end_mirror(task.src_vnode, task.dst_vnode)
+            self.rpc.notify(task.src_address, "mirror_end",
+                            {"src_vnode": task.src_vnode,
+                             "dst_vnode": task.dst_vnode}, 32)
 
     def __repr__(self):
         return "<ControlPlane v%d vnodes=%d>" % (self.ring_version,

@@ -73,6 +73,20 @@ class LintConfig:
     #: Layer -> allowed imported layers (SIM004).
     layers: Dict[str, FrozenSet[str]] = field(default_factory=_default_layers)
 
+    #: Directories where peer-node object references cross shard
+    #: boundaries under the partition-parallel engine (SIM006).
+    cross_shard_scopes: Tuple[str, ...] = ("repro/core/",)
+
+    #: Attribute names holding registries of peer JBOF node objects
+    #: (SIM006): objects fetched from these may live in another worker
+    #: process and must be reached over the simulated network.
+    cross_shard_registries: Tuple[str, ...] = ("jbofs", "_jbofs")
+
+    #: Node methods exempt from SIM006: bootstrap-time delivery that
+    #: runs before any worker process exists (the control plane hands
+    #: every node its initial ring synchronously during ``start()``).
+    cross_shard_allow_methods: Tuple[str, ...] = ("apply_membership",)
+
     def allows(self, allow: Tuple[str, ...], relpath: str) -> bool:
         """True when ``relpath`` matches an allowlist entry (by suffix)."""
         return any(relpath.endswith(entry) for entry in allow)

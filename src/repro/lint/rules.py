@@ -1,4 +1,4 @@
-"""The simlint rule catalog (SIM001-SIM005).
+"""The simlint rule catalog (SIM001-SIM006).
 
 Each rule targets one class of reproducibility leak a discrete-event
 simulation cannot tolerate.  ``docs/determinism.md`` documents the
@@ -48,6 +48,24 @@ def _dotted(node: ast.AST) -> Optional[str]:
         return None
     parts.append(node.id)
     return ".".join(reversed(parts))
+
+
+def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """All descendants of ``scope`` in the same lexical scope."""
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        yield child
+        yield from _scope_nodes(child)
+
+
+def _nested_functions(scope: ast.AST) -> Iterator[ast.AST]:
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+        elif not isinstance(child, ast.Lambda):
+            yield from _nested_functions(child)
 
 
 class DirectRandomUse(Rule):
@@ -151,7 +169,7 @@ class UnsortedSetIteration(Rule):
 
     def _check_scope(self, source: ModuleSource, scope: ast.AST,
                      attr_names: Set[str]) -> Iterator[Finding]:
-        nodes = list(self._scope_nodes(scope))
+        nodes = list(_scope_nodes(scope))
         known = self._collect_names(nodes, attributes=False) | attr_names
         for node in nodes:
             iters: List[ast.AST] = []
@@ -172,26 +190,8 @@ class UnsortedSetIteration(Rule):
                         "iterates over %s in hash order; wrap it in "
                         "sorted(...) so scheduling decisions are "
                         "reproducible" % described)
-        for nested in self._nested_functions(scope):
+        for nested in _nested_functions(scope):
             yield from self._check_scope(source, nested, attr_names)
-
-    @classmethod
-    def _scope_nodes(cls, scope: ast.AST) -> Iterator[ast.AST]:
-        """All descendants of ``scope`` in the same lexical scope."""
-        for child in ast.iter_child_nodes(scope):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                                  ast.Lambda)):
-                continue
-            yield child
-            yield from cls._scope_nodes(child)
-
-    @classmethod
-    def _nested_functions(cls, scope: ast.AST) -> Iterator[ast.AST]:
-        for child in ast.iter_child_nodes(scope):
-            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield child
-            elif not isinstance(child, ast.Lambda):
-                yield from cls._nested_functions(child)
 
     @staticmethod
     def _value_is_set(value: Optional[ast.AST]) -> bool:
@@ -382,6 +382,111 @@ class MutableSharedState(Rule):
                     "or rename it as a constant" % (target.id, described))
 
 
+class CrossShardNodeCall(Rule):
+    """SIM006: peer JBOF nodes are reached over the network only.
+
+    Under the partition-parallel engine (:mod:`repro.sim.parallel`)
+    each JBOF's live state may be owned by another worker process.  A
+    method call on a node object pulled out of a peer registry
+    (``self.jbofs`` / ``self._jbofs``) silently operates on a stale
+    fork-time copy — results diverge from serial runs with no error.
+    Cross-shard interaction must ride ``rpc.call``/``rpc.notify``.
+
+    Reading construction-time attributes (``node.address``,
+    ``node.meter``) is fine — the rule flags only *method calls* on
+    node objects.  Bootstrap-time delivery methods that run before any
+    worker exists are allowlisted in :class:`LintConfig`.
+    """
+
+    rule_id = "SIM006"
+    title = "direct cross-shard node call"
+
+    def check(self, source: ModuleSource) -> Iterator[Finding]:
+        if not self.config.in_scope(self.config.cross_shard_scopes,
+                                    source.relpath):
+            return
+        yield from self._check_scope(source, source.tree)
+
+    def _check_scope(self, source: ModuleSource,
+                     scope: ast.AST) -> Iterator[Finding]:
+        nodes = list(_scope_nodes(scope))
+        names = self._node_names(nodes)
+        for node in nodes:
+            if not isinstance(node, ast.Call) or \
+                    not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr in self.config.cross_shard_allow_methods:
+                continue
+            if self._is_node_expr(node.func.value, names):
+                yield self.finding(
+                    source, node,
+                    "calls .%s() on a JBOF node object; under "
+                    "partition-parallel execution the node may live in "
+                    "another worker process — reach it over the network "
+                    "with rpc.call/rpc.notify" % node.func.attr)
+        for nested in _nested_functions(scope):
+            yield from self._check_scope(source, nested)
+
+    def _is_registry(self, node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in self.config.cross_shard_registries
+        if isinstance(node, ast.Name):
+            return node.id in self.config.cross_shard_registries
+        return False
+
+    def _yields_nodes(self, node: ast.AST) -> bool:
+        """True when iterating ``node`` produces registry node objects."""
+        if self._is_registry(node):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr == "values":
+                return self._is_registry(func.value)
+            if _dotted(func) in ("sorted", "list", "tuple", "reversed",
+                                 "enumerate") and node.args:
+                return self._yields_nodes(node.args[0])
+        return False
+
+    def _is_node_expr(self, node: ast.AST, names: Set[str]) -> bool:
+        """True when ``node`` evaluates to a registry node object."""
+        if isinstance(node, ast.Name):
+            return node.id in names
+        if isinstance(node, ast.Subscript):
+            return self._is_registry(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            return (isinstance(func, ast.Attribute)
+                    and func.attr in ("get", "pop")
+                    and self._is_registry(func.value))
+        return False
+
+    def _node_names(self, nodes: List[ast.AST]) -> Set[str]:
+        """Names bound to node objects within one lexical scope."""
+        names: Set[str] = set()
+
+        def bind(target: ast.AST) -> None:
+            # ``for index, node in enumerate(...)`` binds the last
+            # tuple element to the node.
+            if isinstance(target, ast.Tuple) and target.elts:
+                target = target.elts[-1]
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+
+        for node in nodes:
+            if isinstance(node, ast.For) and self._yields_nodes(node.iter):
+                bind(node.target)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.GeneratorExp, ast.DictComp)):
+                for gen in node.generators:
+                    if self._yields_nodes(gen.iter):
+                        bind(gen.target)
+            elif isinstance(node, ast.Assign) and \
+                    self._is_node_expr(node.value, set()):
+                for target in node.targets:
+                    bind(target)
+        return names
+
+
 def default_rules(config: LintConfig) -> List[Rule]:
     """The shipped rule catalog, in rule-id order."""
     return [
@@ -390,4 +495,5 @@ def default_rules(config: LintConfig) -> List[Rule]:
         UnsortedSetIteration(config),
         ImportLayering(config),
         MutableSharedState(config),
+        CrossShardNodeCall(config),
     ]

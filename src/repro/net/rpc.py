@@ -304,6 +304,10 @@ class RpcEndpoint:
         ``defer=True`` (with :attr:`coalesce` set) buffers the SEND
         until the next :meth:`flush` so several same-destination calls
         share one doorbell; otherwise the SEND posts immediately.
+        Deferral only pays off when the TX port is busy (the batch
+        rides behind the in-flight message for free) — on an idle link
+        with nothing else buffered it would just add latency, so that
+        case posts immediately too.
 
         Tracing: when ``body`` carries a trace context (duck-typed —
         this layer never imports :mod:`repro.obs`), a ``rpc.<method>``
@@ -324,7 +328,8 @@ class RpcEndpoint:
         request = RpcRequest(request_id, method, body,
                              nbytes, self.address, self._response_region.key)
         self.calls_sent += 1
-        if defer and self.coalesce:
+        if defer and self.coalesce and (
+                self._send_buf or not self.qp.nic.tx_idle()):
             self._send_buf.setdefault(dst, []).append(request)
         else:
             self.qp.post_send(dst, request, nbytes + ENVELOPE_BYTES)

@@ -10,15 +10,36 @@ Messages are opaque payloads with a byte size; the fabric charges
 transmit serialization at the sender port, a switch hop, and receive
 serialization at the receiver port, then enqueues the payload on the
 receiving NIC's rx queue.
+
+Delivery time is computed entirely from *sender-local* state (port
+pacer, profiles, a per-destination in-order clamp), so a message is
+fully described at transmit time by a plain record::
+
+    (deliver_at, dst, src, seq, wire_bytes, payload)
+
+Records flow through a per-shard :class:`DeliveryPump` — a canonical
+inbox heap drained by :data:`~repro.sim.core.DELIVERY_PRIORITY` events.
+In the default single-shard configuration every message goes through
+the one pump; when :meth:`Network.configure_shards` partitions the
+fabric, records whose destination lives on another shard are captured
+on :attr:`Network.boundary` for the parallel engine
+(:mod:`repro.sim.parallel`) to exchange at window barriers.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.sim.core import Simulator
 from repro.sim.queues import Store
+
+#: An in-flight message: ``(deliver_at, dst, src, seq, wire_bytes,
+#: payload)``.  The first four fields form a globally unique sort key
+#: (``seq`` is the sender NIC's message counter), so sorting a batch of
+#: records is deterministic and never compares payloads.
+MessageRecord = Tuple[float, str, str, int, int, Any]
 
 
 @dataclass(frozen=True)
@@ -64,7 +85,8 @@ class Nic:
         #: instead of the rx queue, saving the dequeue event.
         self.rx_handler = None
         self._tx_free_at = 0.0
-        self._rx_free_at = 0.0
+        #: Last granted delivery time per destination (in-order clamp).
+        self._pair_last: Dict[str, float] = {}
         self.tx_bytes = 0
         self.rx_bytes = 0
         self.tx_messages = 0
@@ -79,18 +101,77 @@ class Nic:
         self.tx_messages += 1
         return self._tx_free_at
 
-    def serialize_rx(self, nbytes: int, earliest: float) -> float:
-        """Reserve receive time for ``nbytes`` arriving at ``earliest``."""
-        duration = nbytes / self.profile.bandwidth_bpus
-        start = max(earliest, self._rx_free_at)
-        self._rx_free_at = start + duration
-        self.rx_bytes += nbytes
-        self.rx_messages += 1
-        return self._rx_free_at
+    def tx_idle(self) -> bool:
+        """True when the transmit port has no serialization backlog."""
+        return self._tx_free_at <= self.sim.now
+
+    def order_delivery(self, dst: str, deliver_at: float) -> float:
+        """Clamp ``deliver_at`` so (src, dst) delivery stays in order.
+
+        Needed for mixed profiles (a small message can out-serialize a
+        large predecessor at a slow receiver port); the clamp only ever
+        *delays* a delivery, so it preserves every lower bound used by
+        the parallel engine's lookahead.
+        """
+        last = self._pair_last.get(dst)
+        if last is not None and deliver_at < last:
+            deliver_at = last
+        self._pair_last[dst] = deliver_at
+        return deliver_at
 
     def __repr__(self):
         return "<Nic %s %s tx=%d rx=%d>" % (
             self.address, self.profile.name, self.tx_messages, self.rx_messages)
+
+
+class DeliveryPump:
+    """Per-shard delivery queue draining in canonical order.
+
+    Every delivery on a shard — locally transmitted or injected at a
+    window barrier — flows through one inbox heap keyed by the
+    :data:`MessageRecord` sort key.  A single outstanding drain event
+    (at :data:`~repro.sim.core.DELIVERY_PRIORITY`) pops all records due
+    at its timestamp, so the dispatch suffix is a pure function of the
+    inbox contents: identical record sequences produce identical
+    schedules no matter which process inserted them.
+    """
+
+    def __init__(self, sim: Simulator, network: "Network"):
+        self.sim = sim
+        self.network = network
+        self._inbox: List[MessageRecord] = []
+        #: Times of the currently scheduled drain events, earliest first.
+        self._drains: List[float] = []
+
+    def insert(self, record: MessageRecord) -> None:
+        """Queue one record; (re)schedule the drain if it is now due first."""
+        when = record[0]
+        if when < self.sim.now:
+            raise ValueError(
+                "delivery at %r is in this shard's past (now=%r)"
+                % (when, self.sim.now))
+        heapq.heappush(self._inbox, record)
+        head = self._inbox[0][0]
+        if not self._drains or head < self._drains[0]:
+            heapq.heappush(self._drains, head)
+            self.sim.schedule_delivery(head - self.sim.now, self._drain)
+
+    def _drain(self) -> None:
+        heapq.heappop(self._drains)
+        now = self.sim.now
+        inbox = self._inbox
+        deliver = self.network.deliver
+        # <= rather than ==: the drain fires at now + (deliver_at - now),
+        # which can round a few ulps past deliver_at.
+        while inbox and inbox[0][0] <= now:
+            deliver(heapq.heappop(inbox))
+        if inbox and (not self._drains or inbox[0][0] < self._drains[0]):
+            head = inbox[0][0]
+            heapq.heappush(self._drains, head)
+            self.sim.schedule_delivery(max(head - now, 0.0), self._drain)
+
+    def __repr__(self):
+        return "<DeliveryPump pending=%d>" % len(self._inbox)
 
 
 class Network:
@@ -103,14 +184,80 @@ class Network:
         self.messages_delivered = 0
         #: When set, drops all traffic to/from these addresses (failure tests).
         self._partitioned: set = set()
+        #: Shard id per address; unlisted addresses live on shard 0.
+        self._shard_of: Dict[str, int] = {}
+        self._sims: Dict[int, Simulator] = {0: sim}
+        self._pumps: Dict[int, DeliveryPump] = {0: DeliveryPump(sim, self)}
+        #: Records destined for a different shard than their sender,
+        #: in transmit order.  The parallel engine collects these at
+        #: every window barrier (:meth:`take_boundary`).
+        self.boundary: List[MessageRecord] = []
 
-    def attach(self, address: str, profile: Optional[NicProfile] = None) -> Nic:
-        """Create and register a NIC under ``address``."""
+    def attach(self, address: str, profile: Optional[NicProfile] = None,
+               sim: Optional[Simulator] = None) -> Nic:
+        """Create and register a NIC under ``address``.
+
+        ``sim`` binds the NIC (pacer clock, rx queue) to the owning
+        component's shard simulator; it defaults to the fabric's own.
+        """
         if address in self._nics:
             raise ValueError("address %r already attached" % address)
-        nic = Nic(self.sim, address, profile)
+        nic = Nic(sim or self.sim, address, profile)
         self._nics[address] = nic
         return nic
+
+    # -- sharding ----------------------------------------------------------------
+
+    def configure_shards(self, shard_of: Dict[str, int],
+                         sims: Dict[int, Simulator]) -> None:
+        """Partition the fabric for windowed parallel execution.
+
+        ``shard_of`` maps each address to a shard id (unlisted addresses
+        default to shard 0); ``sims`` provides the simulator that steps
+        each shard.  One :class:`DeliveryPump` is created per shard.
+        """
+        self._shard_of = dict(shard_of)
+        self._sims = dict(sims)
+        self._pumps = {sid: DeliveryPump(sim, self)
+                       for sid, sim in self._sims.items()}
+
+    def shard_of(self, address: str) -> int:
+        """Shard id owning ``address`` (0 unless configured otherwise)."""
+        return self._shard_of.get(address, 0)
+
+    def take_boundary(self) -> List[MessageRecord]:
+        """Drain and return the captured cross-shard records."""
+        records, self.boundary = self.boundary, []
+        return records
+
+    def inject(self, record: MessageRecord) -> None:
+        """Hand a (possibly remote-born) record to its destination pump."""
+        self._pumps[self._shard_of.get(record[1], 0)].insert(record)
+
+    def min_cross_shard_delay_us(self) -> float:
+        """Conservative lookahead: the smallest cross-shard delay.
+
+        A message sent between shards at time ``u`` is delivered no
+        earlier than ``u`` plus one byte of transmit serialization, the
+        sender's base latency, the switch hop, and one byte of receive
+        serialization.  :meth:`transmit` can only add to each term
+        (pacer backlog, real sizes, the in-order clamp), so this bound
+        is a safe window size for the conservative parallel engine.
+        Returns +inf when no NIC pair crosses a shard boundary.
+        """
+        best = float("inf")
+        for src, sender in self._nics.items():
+            src_shard = self._shard_of.get(src, 0)
+            fixed = (1.0 / sender.profile.bandwidth_bpus
+                     + sender.profile.base_latency_us
+                     + self.switch.hop_latency_us)
+            for dst, receiver in self._nics.items():
+                if self._shard_of.get(dst, 0) == src_shard:
+                    continue
+                delay = fixed + 1.0 / receiver.profile.bandwidth_bpus
+                if delay < best:
+                    best = delay
+        return best
 
     def nic(self, address: str) -> Nic:
         return self._nics[address]
@@ -137,34 +284,52 @@ class Network:
 
         Fire-and-forget: the payload appears on the destination NIC's
         rx queue after serialization + switch + propagation delays.
-        Delivery is in order per (src, dst) because both port pacers
-        are FIFO.
+        Delivery is in order per (src, dst): the sender pacer is FIFO
+        and :meth:`Nic.order_delivery` clamps the receive-side term.
+
+        Only *sender-local* state is read or written, so a transmit can
+        run on the sender's shard alone; a destination partition is
+        checked at delivery time (a sender cannot observe a remote
+        failure before its message crosses the fabric).
         """
         if src not in self._nics or dst not in self._nics:
             raise KeyError("unknown endpoint in %r -> %r" % (src, dst))
-        if src in self._partitioned or dst in self._partitioned:
+        if src in self._partitioned:
             return  # dropped silently, like a dead cable
         sender = self._nics[src]
         receiver = self._nics[dst]
-        tx_done = sender.serialize_tx(max(nbytes, 1))
-        arrival = (tx_done + sender.profile.base_latency_us
-                   + self.switch.hop_latency_us)
-        rx_done = receiver.serialize_rx(max(nbytes, 1), arrival)
-        delay = rx_done - self.sim.now
+        wire = max(nbytes, 1)
+        tx_done = sender.serialize_tx(wire)
+        deliver_at = sender.order_delivery(
+            dst, tx_done + sender.profile.base_latency_us
+            + self.switch.hop_latency_us
+            + wire / receiver.profile.bandwidth_bpus)
+        record = (deliver_at, dst, src, sender.tx_messages, wire, payload)
+        shard = self._shard_of.get(src, 0)
+        if self._shard_of.get(dst, 0) == shard:
+            self._pumps[shard].insert(record)
+        else:
+            self.boundary.append(record)
 
-        def deliver():
-            # Re-check partitions at delivery time: a node that died
-            # mid-flight does not receive the message.
-            if src in self._partitioned or dst in self._partitioned:
-                return
-            self.messages_delivered += 1
-            handler = receiver.rx_handler
-            if handler is not None:
-                handler(payload)
-            else:
-                receiver.rx_queue.try_put(payload)
+    def deliver(self, record: MessageRecord) -> None:
+        """Land one in-flight record on its destination NIC.
 
-        self.sim.schedule(delay, deliver)
+        Called by the owning shard's :class:`DeliveryPump` at
+        ``record[0]``.  Partitions are re-checked here: a node that
+        died mid-flight does not receive the message.
+        """
+        _deliver_at, dst, src, _seq, wire, payload = record
+        if src in self._partitioned or dst in self._partitioned:
+            return
+        receiver = self._nics[dst]
+        receiver.rx_bytes += wire
+        receiver.rx_messages += 1
+        self.messages_delivered += 1
+        handler = receiver.rx_handler
+        if handler is not None:
+            handler(payload)
+        else:
+            receiver.rx_queue.try_put(payload)
 
     def one_way_latency_us(self, src: str, dst: str, nbytes: int) -> float:
         """Unloaded delivery latency estimate for sizing timeouts."""

@@ -1,0 +1,55 @@
+"""Deterministic merging of per-shard observability exports.
+
+Partition-parallel runs (:mod:`repro.sim.parallel`) leave each shard
+with its own slice of the observability state: client latency
+histograms on the coordinator shard, per-node counters on the JBOF
+shards, spans wherever the span was opened.  These helpers combine
+such slices into one cluster-level view with a *canonical* result —
+the merge output is a pure function of the input multiset, never of
+the order shards happened to report in, so merged figures can be
+digest-compared across worker counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.obs.hist import LatencyHistogram
+from repro.obs.spans import Span
+
+
+def merge_histograms(parts: Iterable[LatencyHistogram]) -> LatencyHistogram:
+    """Sum latency histograms into a fresh one.
+
+    Bucket counts, totals, and extrema are all order-independent, so
+    any reporting order yields the identical merged histogram.
+    """
+    merged = LatencyHistogram()
+    for part in parts:
+        merged.merge(part)
+    return merged
+
+
+def merge_counters(parts: Iterable[Dict[str, float]]) -> Dict[str, float]:
+    """Sum per-shard counter dictionaries key-wise."""
+    merged: Dict[str, float] = {}
+    for part in parts:
+        for name, value in part.items():
+            merged[name] = merged.get(name, 0.0) + value
+    return merged
+
+
+def merge_span_exports(parts: Iterable[List[Span]]) -> List[Span]:
+    """Combine per-shard span lists into one canonically ordered list.
+
+    Spans sort by ``(begin_us, track, name, trace_id, span_id)`` —
+    time first so the merged list reads as a cluster-wide timeline,
+    with the remaining fields breaking simultaneous-begin ties the
+    same way on every run.
+    """
+    spans: List[Span] = []
+    for part in parts:
+        spans.extend(part)
+    spans.sort(key=lambda span: (span.begin_us, span.track, span.name,
+                                 span.trace_id, span.span_id))
+    return spans

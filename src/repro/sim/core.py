@@ -32,11 +32,19 @@ from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.errors import StopSimulation
-from repro.sim.events import Event, Timeout, all_of, any_of
+from repro.sim.events import Delivery, Event, Timeout, all_of, any_of
 from repro.sim.process import Process
 
 #: Default priority for scheduled events.  Interrupts use 0 (urgent).
 NORMAL_PRIORITY = 1
+
+#: Priority for network delivery drains (:class:`repro.net.topology.
+#: DeliveryPump`).  Strictly after normal events at the same timestamp,
+#: so handlers scheduled *at* t observe a stable world before new
+#: cross-NIC traffic lands — and so the drain order is a function of the
+#: pump inbox alone, which is what makes per-shard schedule digests
+#: comparable across worker counts.
+DELIVERY_PRIORITY = 2
 
 #: Timeout recycling proves "no one else holds this object" via the
 #: CPython reference count; other interpreters skip the pool.
@@ -159,6 +167,17 @@ class Simulator:
         """Run a plain callable ``delay`` time units from now."""
         event = self.timeout(delay)
         event.callbacks.append(lambda _evt: callback())
+        return event
+
+    def schedule_delivery(self, delay: float,
+                          callback: Callable[[], None]) -> Event:
+        """Run ``callback`` at ``now + delay``, after all same-time
+        normal-priority events (:data:`DELIVERY_PRIORITY`)."""
+        if delay < 0:
+            raise ValueError("negative delivery delay %r" % delay)
+        event = Delivery(self)
+        event.callbacks.append(lambda _evt: callback())
+        self._schedule_event(event, delay=delay, priority=DELIVERY_PRIORITY)
         return event
 
     # -- engine ---------------------------------------------------------------
@@ -318,6 +337,83 @@ class Simulator:
         if deadline != float("inf"):
             self._now = deadline
         return None
+
+    def run_window(self, end: float,
+                   inclusive: bool = False) -> Optional[StopSimulation]:
+        """Dispatch every event scheduled before ``end``; keep the rest.
+
+        The windowed dispatcher for the conservative parallel engine
+        (:mod:`repro.sim.parallel`): events with ``when < end`` (or
+        ``when <= end`` when ``inclusive``) run exactly as
+        :meth:`run_batch` would run them; later events stay queued, and
+        — unlike ``run(until=end)`` — the clock is left at the last
+        dispatched event, so consecutive windows tile without skewing
+        timestamps.  Returns the :class:`StopSimulation` that escaped a
+        callback (``run(until=event)`` support), or ``None``.
+        """
+        end = float(end)
+        heap = self._heap
+        imm = self._imm
+        pool = self._timeout_pool
+        recycle = _REFCOUNT_POOLING
+        getrefcount = sys.getrefcount
+        heappop = heapq.heappop
+        pack = struct.pack
+        dispatched = 0
+        try:
+            while heap or imm:
+                if imm:
+                    when = self._now
+                    if when > end or (when == end and not inclusive):
+                        break  # pragma: no cover - window protocol guard
+                    if heap:
+                        head = heap[0]
+                        if head[0] == when and (
+                                head[1] < NORMAL_PRIORITY
+                                or (head[1] == NORMAL_PRIORITY
+                                    and head[2] < imm[0][0])):
+                            when, priority, sequence, event = heappop(heap)
+                        else:
+                            sequence, event = imm.popleft()
+                            priority = NORMAL_PRIORITY
+                    else:
+                        sequence, event = imm.popleft()
+                        priority = NORMAL_PRIORITY
+                else:
+                    when = heap[0][0]
+                    if when > end or (when == end and not inclusive):
+                        break
+                    when, priority, sequence, event = heappop(heap)
+                    self._now = when
+                dispatched += 1
+                if self._digest is not None:
+                    self._digest.update(pack("<dqq", when, priority, sequence))
+                    self._digest.update(type(event).__name__.encode("ascii"))
+                    self._digest_events += 1
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+                if (recycle and type(event) is Timeout
+                        and getrefcount(event) == 2
+                        and len(pool) < _TIMEOUT_POOL_MAX):
+                    pool.append(event)
+        except StopSimulation as stop:
+            return stop
+        finally:
+            self._events_dispatched += dispatched
+        return None
+
+    def sync_now(self, when: float) -> None:
+        """Advance the idle clock to ``when`` without dispatching.
+
+        Used by the parallel engine to mirror ``run(until=number)``,
+        which leaves the clock at the deadline even when no event sits
+        exactly there.  Never moves time backwards.
+        """
+        if when > self._now:
+            self._now = float(when)
 
     @staticmethod
     def _event_outcome(event: Event) -> Any:

@@ -125,6 +125,31 @@ class Timeout(Event):
         raise EventAlreadyTriggered("Timeout events trigger themselves")
 
 
+class Delivery(Event):
+    """A pre-succeeded event carrying a network delivery drain.
+
+    Scheduled directly by :meth:`Simulator.schedule_delivery` at
+    ``DELIVERY_PRIORITY`` so a drain at time ``t`` runs after every
+    normal-priority event at ``t``.  Like :class:`Timeout` it triggers
+    itself; unlike Timeout it is never pooled (the pump holds no
+    reference once dispatched, and keeping the type distinct keeps the
+    schedule digest self-describing).
+    """
+
+    __slots__ = ()
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover - guard
+        raise EventAlreadyTriggered("Delivery events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover - guard
+        raise EventAlreadyTriggered("Delivery events trigger themselves")
+
+
 class ConditionValue(dict):
     """Mapping of event -> value for the events that fired in a condition."""
 

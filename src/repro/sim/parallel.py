@@ -1,0 +1,428 @@
+"""Partition-parallel simulation: conservative windowed execution.
+
+A sharded cluster splits its components across several
+:class:`~repro.sim.core.Simulator` instances — clients and the control
+plane on the coordinator shard 0, each JBOF on its own shard — and
+steps them in *windows* bounded by the minimum cross-shard network
+delay (the classic conservative lookahead of Chandy-Misra-Bryant
+engines):
+
+1. Compute the horizon ``H``: the earliest pending event or in-flight
+   cross-shard delivery anywhere in the cluster.
+2. Every shard dispatches all of its events in ``[H, H + L)``, where
+   ``L`` is the lookahead (:meth:`Network.min_cross_shard_delay_us`).
+   A message sent at ``u >= H`` is delivered no earlier than
+   ``u + L >= H + L``, so no shard can receive anything inside the
+   window it is currently executing — shards are independent and may
+   run concurrently.
+3. At the barrier, cross-shard records captured on
+   :attr:`Network.boundary` are gathered, sorted by their canonical
+   ``(deliver_at, dst, src, seq)`` key, and routed to their
+   destination shards for the next window.
+
+Determinism: each shard's schedule is a pure function of its initial
+state and the sorted record sequences injected at barriers — neither
+depends on how many OS processes execute the windows.  ``workers=1``
+(all shards stepped in-process) and ``workers=N`` (shards spread over
+forked workers) therefore produce byte-identical per-shard schedule
+digests and figure metrics.
+
+Worker processes are created lazily with ``fork`` at the first
+:meth:`ParallelEngine.run`, so they inherit the fully constructed and
+bootstrapped object graph; afterwards each process only ever *steps*
+its own shards, and all cross-shard traffic travels as picklable
+message records over pipes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.sim.core import Simulator
+from repro.sim.events import Event
+
+#: Timeout (seconds of wall time) for a worker to finish one window.
+_WINDOW_TIMEOUT_S = 600.0
+
+
+@dataclass
+class ShardPlan:
+    """Assignment of component addresses to shard ids.
+
+    Shard 0 is the coordinator shard (clients + control plane); each
+    JBOF gets its own shard.  The plan is what
+    :meth:`Network.configure_shards` consumes.
+    """
+
+    shard_of: Dict[str, int] = field(default_factory=dict)
+    num_shards: int = 1
+
+    @classmethod
+    def for_cluster(cls, control_plane_address: str,
+                    client_addresses: List[str],
+                    jbof_addresses: List[str]) -> "ShardPlan":
+        shard_of = {control_plane_address: 0}
+        for address in client_addresses:
+            shard_of[address] = 0
+        for index, address in enumerate(jbof_addresses):
+            shard_of[address] = index + 1
+        return cls(shard_of=shard_of, num_shards=len(jbof_addresses) + 1)
+
+
+class CoordinatorSimulator(Simulator):
+    """Shard 0's simulator: ``run()`` drives the whole sharded cluster.
+
+    Components on shard 0 use it exactly like a plain
+    :class:`Simulator`; once :meth:`bind_engine` attaches a
+    :class:`ParallelEngine`, ``run()`` delegates to the engine's
+    windowed loop so existing harness code (``cluster.sim.run(...)``)
+    works unchanged.
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        super().__init__(start_time)
+        self._engine: Optional["ParallelEngine"] = None
+
+    def bind_engine(self, engine: "ParallelEngine") -> None:
+        self._engine = engine
+
+    def run(self, until: Any = None) -> Any:
+        if self._engine is None:
+            return super().run(until)
+        return self._engine.run(until)
+
+
+class ParallelEngine:
+    """Conservative windowed executor over a set of shard simulators.
+
+    ``workers`` counts OS processes including the coordinator: 1 steps
+    every shard in-process (same schedule, no concurrency), ``N >= 2``
+    forks ``N - 1`` workers and deals the non-coordinator shards to
+    them round-robin.  Shard 0 always stays in the coordinator.
+    """
+
+    def __init__(self, network, sims: Dict[int, Simulator], workers: int,
+                 probes: Optional[Dict[int, Callable[[], dict]]] = None):
+        if 0 not in sims:
+            raise ValueError("shard 0 (coordinator) simulator is required")
+        if workers < 1:
+            raise ValueError("workers must be >= 1, got %r" % workers)
+        self.network = network
+        self.sims = dict(sims)
+        self.workers = min(workers, len(self.sims))
+        #: Per-shard report extras (e.g. node energy), run on whichever
+        #: process owns the shard.  Closures survive ``fork``.
+        self.probes = dict(probes or {})
+        self._lookahead: Optional[float] = None
+        self._forked = False
+        #: (process, pipe connection, shard ids) per forked worker.
+        self._children: list = []
+        self._parent_shards: List[int] = sorted(self.sims)
+        #: Last reported ``peek()`` / ``now`` per remotely-owned shard.
+        self._child_peeks: Dict[int, float] = {}
+        self._child_nows: Dict[int, float] = {}
+        #: Records awaiting injection, per destination shard, already
+        #: in canonical order.
+        self._pending: Dict[int, List[tuple]] = {sid: [] for sid in self.sims}
+        self._stopped = False
+        self._final_reports: Optional[Dict[int, dict]] = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def forked(self) -> bool:
+        """True once worker processes exist (state has diverged)."""
+        return self._forked
+
+    @property
+    def lookahead_us(self) -> Optional[float]:
+        """The window lookahead ``L``, known after the first run."""
+        return self._lookahead
+
+    def enable_schedule_digests(self) -> None:
+        """Turn on schedule digests for every shard (pre-fork only)."""
+        if self._forked:
+            raise RuntimeError(
+                "digests must be enabled before the first run() forks "
+                "worker processes")
+        for sim in self.sims.values():
+            sim.enable_schedule_digest()
+
+    # -- the windowed loop ---------------------------------------------------
+
+    def run(self, until: Any = None) -> Any:
+        """Windowed equivalent of :meth:`Simulator.run` for the cluster."""
+        if self._stopped:
+            raise RuntimeError("parallel engine already stopped")
+        if self.workers >= 2 and not self._forked:
+            self._fork()
+        sim0 = self.sims[0]
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(sim0._stop_on_event)
+            elif stop_event.triggered:
+                return sim0._event_outcome(stop_event)
+        else:
+            deadline = float(until)
+            if deadline < sim0.now:
+                raise ValueError("cannot run until %r, now is %r"
+                                 % (deadline, sim0.now))
+        if self._lookahead is None:
+            self._lookahead = self.network.min_cross_shard_delay_us()
+        lookahead = self._lookahead
+        # User code running between run() calls (cluster.shutdown(),
+        # test drivers poking shard-0 components) may have transmitted
+        # cross-shard messages; fold them in before sizing the first
+        # window or the horizon would miss them.
+        self._absorb_boundary()
+
+        while True:
+            horizon = self._horizon()
+            if horizon == float("inf"):
+                if stop_event is not None:
+                    raise RuntimeError(
+                        "run() until an event, but the simulation ran out "
+                        "of events before %r triggered" % stop_event)
+                if deadline == float("inf"):
+                    # Drained dry: align every shard clock to the global
+                    # last-event time, as the single-simulator engine's
+                    # shared clock would read (time-integrated reports
+                    # like energy depend on it).
+                    self._sync_all(self._max_now())
+                break
+            if horizon > deadline:
+                break
+            t_end = horizon + lookahead
+            inclusive = False
+            if t_end > deadline:
+                t_end, inclusive = deadline, True
+            stop = self._run_window(t_end, inclusive)
+            if stop is not None:
+                if stop_event is not None and stop_event.triggered:
+                    return sim0._event_outcome(stop_event)
+                return stop.value
+        if deadline != float("inf"):
+            self._sync_all(deadline)
+        return None
+
+    def _absorb_boundary(self) -> None:
+        """Move stray boundary records into the pending queues."""
+        records = self.network.take_boundary()
+        if not records:
+            return
+        shard_of = self.network.shard_of
+        touched = set()
+        for record in sorted(records, key=lambda record: record[:4]):
+            sid = shard_of(record[1])
+            self._pending[sid].append(record)
+            touched.add(sid)
+        for sid in touched:
+            self._pending[sid].sort(key=lambda record: record[:4])
+
+    def _horizon(self) -> float:
+        """Earliest pending event or undelivered record, cluster-wide."""
+        horizon = float("inf")
+        for sid in self._parent_shards:
+            peek = self.sims[sid].peek()
+            if peek < horizon:
+                horizon = peek
+        for peek in self._child_peeks.values():
+            if peek < horizon:
+                horizon = peek
+        for records in self._pending.values():
+            if records and records[0][0] < horizon:
+                horizon = records[0][0]
+        return horizon
+
+    def _max_now(self) -> float:
+        """Latest shard clock (the serial engine's notion of "now")."""
+        latest = max(self.sims[sid].now for sid in self._parent_shards)
+        for now in self._child_nows.values():
+            if now > latest:
+                latest = now
+        return latest
+
+    def _run_window(self, t_end: float, inclusive: bool):
+        """One window on every shard; exchange records at the barrier.
+
+        Returns the :class:`~repro.sim.errors.StopSimulation` escaping
+        a coordinator-shard callback, or ``None``.
+        """
+        for proc, conn, shard_ids in self._children:
+            records = []
+            for sid in shard_ids:
+                records.extend(self._pending[sid])
+                self._pending[sid] = []
+            conn.send(("run", t_end, inclusive, records))
+        stop = None
+        for sid in self._parent_shards:
+            pending = self._pending[sid]
+            if pending:
+                self._pending[sid] = []
+                inject = self.network.inject
+                for record in pending:
+                    inject(record)
+            outcome = self.sims[sid].run_window(t_end, inclusive)
+            if outcome is not None:
+                stop = outcome
+        boundary = self.network.take_boundary()
+        for proc, conn, shard_ids in self._children:
+            child_boundary, peeks, nows = self._recv(conn)
+            boundary.extend(child_boundary)
+            self._child_peeks.update(peeks)
+            self._child_nows.update(nows)
+        # Canonical merge: identical record sets must reach each pump in
+        # identical order regardless of which process produced them
+        # (pump insertion order shapes drain-event sequence numbers and
+        # therefore the shard's schedule digest).
+        boundary.sort(key=lambda record: record[:4])
+        shard_of = self.network.shard_of
+        for record in boundary:
+            self._pending[shard_of(record[1])].append(record)
+        return stop
+
+    def _sync_all(self, when: float) -> None:
+        """Mirror ``run(until=number)``'s final clock advance everywhere."""
+        for proc, conn, shard_ids in self._children:
+            conn.send(("sync", when))
+        for sid in self._parent_shards:
+            self.sims[sid].sync_now(when)
+        for proc, conn, shard_ids in self._children:
+            self._recv(conn)
+        for sid, now in self._child_nows.items():
+            if now < when:
+                self._child_nows[sid] = when
+
+    # -- worker processes ----------------------------------------------------
+
+    def _fork(self) -> None:
+        """Spread non-coordinator shards over forked worker processes."""
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            self.workers = 1
+            return
+        remote = [sid for sid in sorted(self.sims) if sid != 0]
+        child_count = min(self.workers - 1, len(remote))
+        if child_count < 1:
+            self.workers = 1
+            return
+        assignment: List[List[int]] = [[] for _ in range(child_count)]
+        for index, sid in enumerate(remote):
+            assignment[index % child_count].append(sid)
+        for shard_ids in assignment:
+            parent_conn, child_conn = context.Pipe()
+            process = context.Process(
+                target=self._child_main, args=(child_conn, shard_ids),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            self._children.append((process, parent_conn, shard_ids))
+        owned = {sid for shard_ids in assignment for sid in shard_ids}
+        self._parent_shards = [sid for sid in sorted(self.sims)
+                               if sid not in owned]
+        for sid in owned:
+            self._child_peeks[sid] = self.sims[sid].peek()
+            self._child_nows[sid] = self.sims[sid].now
+        self._forked = True
+
+    def _child_main(self, conn, shard_ids: List[int]) -> None:
+        """Worker loop: step owned shards window by window."""
+        import traceback
+        sims = {sid: self.sims[sid] for sid in shard_ids}
+        network = self.network
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            try:
+                if kind == "run":
+                    _, t_end, inclusive, records = message
+                    for record in records:
+                        network.inject(record)
+                    for sid in shard_ids:
+                        sims[sid].run_window(t_end, inclusive)
+                    peeks = {sid: sims[sid].peek() for sid in shard_ids}
+                    nows = {sid: sims[sid].now for sid in shard_ids}
+                    conn.send((network.take_boundary(), peeks, nows))
+                elif kind == "sync":
+                    for sid in shard_ids:
+                        sims[sid].sync_now(message[1])
+                    conn.send(("ok",))
+                elif kind == "collect":
+                    conn.send({sid: self._shard_report(sid) for sid in shard_ids})
+                elif kind == "exit":
+                    conn.send(("ok",))
+                    return
+                else:  # pragma: no cover - protocol guard
+                    raise ValueError("unknown message %r" % (kind,))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+                return
+
+    def _recv(self, conn):
+        """Read one worker reply, surfacing worker-side failures."""
+        if not conn.poll(_WINDOW_TIMEOUT_S):  # pragma: no cover - hang guard
+            raise RuntimeError("parallel worker did not answer within %.0fs"
+                               % _WINDOW_TIMEOUT_S)
+        reply = conn.recv()
+        if isinstance(reply, tuple) and reply and reply[0] == "error":
+            raise RuntimeError("parallel worker failed:\n%s" % reply[1])
+        return reply
+
+    # -- reporting / teardown ------------------------------------------------
+
+    def _shard_report(self, sid: int) -> dict:
+        sim = self.sims[sid]
+        report = {
+            "shard": sid,
+            "now": sim.now,
+            "events_dispatched": sim.events_dispatched,
+            "schedule_digest": sim.schedule_digest,
+            "digest_events": sim.schedule_digest_events,
+        }
+        probe = self.probes.get(sid)
+        if probe is not None:
+            report["probe"] = probe()
+        return report
+
+    def collect(self) -> Dict[int, dict]:
+        """Per-shard reports (digest, event counts, probe payloads).
+
+        Safe to call whenever no :meth:`run` is in progress — forked
+        workers answer from their blocking receive between windows.
+        After :meth:`stop_workers` the final snapshot is returned.
+        """
+        if self._final_reports is not None:
+            return self._final_reports
+        reports = {sid: self._shard_report(sid) for sid in self._parent_shards}
+        for proc, conn, shard_ids in self._children:
+            conn.send(("collect",))
+        for proc, conn, shard_ids in self._children:
+            reports.update(self._recv(conn))
+        return {sid: reports[sid] for sid in sorted(reports)}
+
+    def stop_workers(self) -> None:
+        """Terminate forked workers (idempotent); no further runs."""
+        if self._stopped:
+            return
+        self._final_reports = self.collect()
+        for proc, conn, shard_ids in self._children:
+            try:
+                conn.send(("exit",))
+                self._recv(conn)
+            except (OSError, EOFError, RuntimeError):  # pragma: no cover
+                pass
+        for proc, conn, shard_ids in self._children:
+            proc.join(timeout=30.0)
+            if proc.is_alive():  # pragma: no cover - hang guard
+                proc.terminate()
+            conn.close()
+        self._children = []
+        self._stopped = True

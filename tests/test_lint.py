@@ -254,6 +254,89 @@ class TestSIM005MutableSharedState:
         assert report.exit_code == 0
 
 
+class TestSIM006CrossShardNodeCall:
+    def test_loop_over_registry_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            class Cluster:
+                def shutdown(self):
+                    for node in self.jbofs:
+                        node.stop()
+            """)
+        assert "SIM006" in rules_hit(report)
+
+    def test_registry_get_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            class ControlPlane:
+                def copy(self, address, arcs):
+                    node = self._jbofs.get(address)
+                    node.begin_mirror(arcs)
+            """)
+        assert "SIM006" in rules_hit(report)
+
+    def test_registry_subscript_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            class Cluster:
+                def poke(self, index):
+                    self.jbofs[index].heartbeat()
+            """)
+        assert "SIM006" in rules_hit(report)
+
+    def test_comprehension_over_registry_flagged(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            class Cluster:
+                def drain(self):
+                    return [node.flush() for node in self.jbofs]
+            """)
+        assert "SIM006" in rules_hit(report)
+
+    def test_attribute_reads_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            class Cluster:
+                def addresses(self):
+                    return [node.address for node in self.jbofs]
+
+                def meters(self):
+                    return [node.meter for node in sorted(
+                        self._jbofs.values(), key=lambda n: n.address)]
+            """)
+        assert report.exit_code == 0
+
+    def test_bootstrap_allowlist_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            class ControlPlane:
+                def bootstrap(self, payload):
+                    for node in self._jbofs.values():
+                        node.apply_membership(payload)
+            """)
+        assert report.exit_code == 0
+
+    def test_rpc_path_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/good.py", """\
+            class Cluster:
+                def shutdown(self):
+                    for node in self.jbofs:
+                        self.rpc.notify(node.address, "node_stop", None, 16)
+            """)
+        assert report.exit_code == 0
+
+    def test_out_of_scope_clean(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/bench/tooling.py", """\
+            class Report:
+                def collect(self, cluster):
+                    return [node.report() for node in cluster.jbofs]
+            """)
+        assert report.exit_code == 0
+
+    def test_suppression(self, tmp_path):
+        report = lint_snippet(tmp_path, "repro/core/bad.py", """\
+            class Cluster:
+                def shutdown(self):
+                    for node in self.jbofs:
+                        node.stop()  # simlint: ignore[SIM006]
+            """)
+        assert report.exit_code == 0
+
+
 class TestSuppressions:
     def test_bare_ignore_covers_all_rules(self, tmp_path):
         report = lint_snippet(tmp_path, "repro/core/bad.py", """\
@@ -326,5 +409,6 @@ class TestShippedTree:
             cwd=REPO_ROOT, capture_output=True, text=True,
             env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
         assert proc.returncode == 0
-        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005"):
+        for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
+                        "SIM006"):
             assert rule_id in proc.stdout

@@ -1,0 +1,212 @@
+"""Partition-parallel engine: determinism cross-checks + unit tests.
+
+The headline contract of :mod:`repro.sim.parallel`:
+
+* ``workers=0`` (classic single simulator) and ``workers=1`` (sharded,
+  stepped in-process) produce identical figure metrics — completed
+  ops, latency statistics, histograms, energy.
+* ``workers=1`` and ``workers=N`` (forked) additionally produce
+  byte-identical per-shard schedule digests: process count must not
+  leak into the event schedule.
+
+The cross-check here runs one fixed-seed YCSB-B workload at each
+worker count and compares everything.
+"""
+
+import pytest
+
+from repro.bench.harness import (build_cluster, latency_summary,
+                                 load_cluster, run_closed_loop)
+from repro.core.cluster import LeedCluster
+from repro.net.topology import NIC_100G, Network, SwitchProfile
+from repro.sim.core import Simulator
+from repro.sim.parallel import ShardPlan
+from repro.workloads.ycsb import YCSBWorkload
+
+SEED = 13
+VALUE_SIZE = 256
+RECORDS = 120
+OPS = 240
+CONCURRENCY = 8
+
+
+def run_fixture(workers):
+    """One fixed-seed YCSB-B run; returns (figures, digests, reports)."""
+    cluster = build_cluster("leed", scale="quick", value_size=VALUE_SIZE,
+                            seed=SEED, num_nodes=3, num_clients=2,
+                            workers=workers)
+    cluster.enable_schedule_digests()
+    workload = YCSBWorkload("B", num_records=RECORDS, seed=SEED,
+                            value_size=VALUE_SIZE)
+    load_cluster(cluster, workload, parallelism=8)
+    stats = run_closed_loop(cluster, workload, OPS, CONCURRENCY)
+    cluster.shutdown()
+    cluster.sim.run()
+    figures = {
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "elapsed_us": round(stats.elapsed_us, 6),
+        "mean_us": round(stats.mean_latency_us(), 6),
+        "p99_us": round(stats.percentile_us(0.99), 6),
+        "energy_j": round(cluster.energy_joules(), 9),
+        "latency_rows": latency_summary(cluster, "xcheck"),
+    }
+    digests = cluster.shard_digests()
+    reports = cluster.shard_reports()
+    cluster.stop_workers()
+    return figures, digests, reports
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """The same workload at workers 0 (serial), 1 (sharded), 4 (forked)."""
+    return {workers: run_fixture(workers) for workers in (0, 1, 4)}
+
+
+class TestDeterminismCrossCheck:
+    def test_serial_matches_sharded_figures(self, runs):
+        """workers=0 and workers=1 agree on every figure metric."""
+        assert runs[0][0] == runs[1][0]
+
+    def test_forked_matches_sharded_figures(self, runs):
+        """workers=4 agrees with workers=1 on every figure metric."""
+        assert runs[4][0] == runs[1][0]
+
+    def test_forked_matches_sharded_schedule_digests(self, runs):
+        """Per-shard schedules are byte-identical across worker counts."""
+        _, digests_w1, reports_w1 = runs[1]
+        _, digests_w4, reports_w4 = runs[4]
+        assert set(digests_w1) == {0, 1, 2, 3}
+        assert all(digests_w1.values()), "digests were not enabled"
+        assert digests_w4 == digests_w1
+        for sid in digests_w1:
+            assert (reports_w4[sid]["digest_events"]
+                    == reports_w1[sid]["digest_events"])
+            assert (reports_w4[sid]["events_dispatched"]
+                    == reports_w1[sid]["events_dispatched"])
+
+    def test_workload_actually_ran(self, runs):
+        figures = runs[0][0]
+        assert figures["completed"] == OPS
+        assert figures["failed"] == 0
+        assert figures["energy_j"] > 0
+
+
+class TestShardPlan:
+    def test_for_cluster_layout(self):
+        plan = ShardPlan.for_cluster(
+            "cp", ["client0", "client1"], ["jbof0", "jbof1", "jbof2"])
+        assert plan.num_shards == 4
+        assert plan.shard_of["cp"] == 0
+        assert plan.shard_of["client0"] == 0
+        assert plan.shard_of["client1"] == 0
+        assert plan.shard_of["jbof0"] == 1
+        assert plan.shard_of["jbof2"] == 3
+
+
+class TestNetworkSharding:
+    def _sharded_fabric(self):
+        sim0, sim1 = Simulator(), Simulator()
+        network = Network(sim0)
+        network.attach("a", NIC_100G, sim=sim0)
+        network.attach("b", NIC_100G, sim=sim1)
+        network.configure_shards({"a": 0, "b": 1}, {0: sim0, 1: sim1})
+        return network, sim0, sim1
+
+    def test_min_cross_shard_delay(self):
+        network, _, _ = self._sharded_fabric()
+        expected = (1.0 / NIC_100G.bandwidth_bpus
+                    + NIC_100G.base_latency_us
+                    + SwitchProfile().hop_latency_us
+                    + 1.0 / NIC_100G.bandwidth_bpus)
+        assert network.min_cross_shard_delay_us() == pytest.approx(expected)
+
+    def test_min_delay_infinite_without_cross_shard_pairs(self):
+        sim = Simulator()
+        network = Network(sim)
+        network.attach("a", NIC_100G, sim=sim)
+        network.attach("b", NIC_100G, sim=sim)
+        assert network.min_cross_shard_delay_us() == float("inf")
+
+    def test_cross_shard_transmit_lands_on_boundary(self):
+        network, sim0, _ = self._sharded_fabric()
+        network.transmit("a", "b", 64, "payload")
+        records = network.take_boundary()
+        assert len(records) == 1
+        deliver_at, dst, src, _seq, _wire, _payload = records[0]
+        assert (dst, src) == ("b", "a")
+        assert deliver_at >= sim0.now + network.min_cross_shard_delay_us()
+        assert network.take_boundary() == []
+
+    def test_same_shard_transmit_bypasses_boundary(self):
+        network, sim0, _ = self._sharded_fabric()
+        network.attach("c", NIC_100G, sim=sim0)
+        network.transmit("a", "c", 64, "payload")
+        assert network.boundary == []
+        # The delivery went to shard 0's pump: a drain event is queued.
+        assert sim0.peek() < float("inf")
+
+    def test_inject_refuses_past_delivery(self):
+        network, _, sim1 = self._sharded_fabric()
+        sim1.sync_now(10.0)
+        with pytest.raises(ValueError):
+            network.inject((5.0, "b", "a", 1, 64, "late"))
+
+
+class TestRunWindow:
+    def test_window_end_exclusive_by_default(self):
+        sim = Simulator()
+        fired = []
+        for when in (1.0, 2.0, 3.0):
+            sim.schedule(when, lambda when=when: fired.append(when))
+        sim.run_window(2.0)
+        assert fired == [1.0]
+        sim.run_window(2.0, inclusive=True)
+        assert fired == [1.0, 2.0]
+        assert sim.peek() == 3.0
+
+    def test_clock_stays_at_last_dispatched_event(self):
+        sim = Simulator()
+        sim.schedule(1.5, lambda: None)
+        sim.run_window(4.0)
+        assert sim.now == 1.5
+
+    def test_sync_now_never_rewinds(self):
+        sim = Simulator()
+        sim.sync_now(7.0)
+        assert sim.now == 7.0
+        sim.sync_now(3.0)
+        assert sim.now == 7.0
+
+
+class TestParallelClusterGuards:
+    def test_tracing_requires_single_process(self):
+        with pytest.raises(ValueError):
+            LeedCluster(num_jbofs=2, num_clients=1, workers=2,
+                        trace_sample_interval=1)
+
+    def test_metrics_sampler_requires_single_process(self):
+        with pytest.raises(ValueError):
+            LeedCluster(num_jbofs=2, num_clients=1, workers=2,
+                        metrics_interval_us=100.0)
+
+    def test_run_until_past_deadline_raises(self):
+        cluster = LeedCluster(num_jbofs=2, num_clients=1, workers=1)
+        cluster.start()
+        cluster.sim.run(until=50.0)
+        with pytest.raises(ValueError):
+            cluster.sim.run(until=10.0)
+        cluster.shutdown()
+        cluster.sim.run()
+        cluster.stop_workers()
+
+    def test_digests_must_be_enabled_before_fork(self):
+        cluster = LeedCluster(num_jbofs=2, num_clients=1, workers=2)
+        cluster.start()
+        cluster.sim.run(until=200.0)  # first run forks the workers
+        assert cluster.engine.forked
+        with pytest.raises(RuntimeError):
+            cluster.enable_schedule_digests()
+        cluster.shutdown()
+        cluster.sim.run()
+        cluster.stop_workers()
