@@ -134,7 +134,8 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
                   crrs: Optional[bool] = None, seed: int = 0,
                   num_nodes: Optional[int] = None,
                   num_clients: Optional[int] = None,
-                  replication: int = 3, workers: int = 0) -> LeedCluster:
+                  replication: int = 3, workers: int = 0,
+                  sanitize_seed: Optional[int] = None) -> LeedCluster:
     """A scaled-down deployment of one of the three systems.
 
     Platforms keep their stock hardware models (full-speed SSDs, real
@@ -144,7 +145,10 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
 
     ``workers`` selects the partition-parallel engine
     (:class:`~repro.core.cluster.ClusterConfig.workers`): 0 keeps the
-    classic single-simulator engine.
+    classic single-simulator engine.  ``sanitize_seed`` (exclusive
+    with ``workers > 0``) enables the order-dependence sanitizer:
+    same-timestamp scheduling ties are permuted by the ``sim.sanitize``
+    stream seeded with that value (see ``repro.lint.sanitize``).
     """
     profile = scale_profile(scale, value_size)
     if system == "leed":
@@ -173,7 +177,9 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
         num_clients=(num_clients if num_clients is not None
                      else profile.num_clients),
         replication=replication,
-        store_config=store, options=options, seed=seed, workers=workers)
+        store_config=store, options=options, seed=seed, workers=workers,
+        sanitize=sanitize_seed is not None,
+        sanitize_seed=sanitize_seed if sanitize_seed is not None else 0)
     if flow_control is not None:
         for client in cluster.clients:
             client.flow.enabled = flow_control

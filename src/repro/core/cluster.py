@@ -75,6 +75,13 @@ class ClusterConfig:
     #: (and the probe-backed :meth:`LeedCluster.energy_joules`) for
     #: cross-shard reporting.
     workers: int = 0
+    #: Order-dependence sanitizer (``repro.lint.sanitize``): break
+    #: same-timestamp scheduling ties with a named RNG stream instead
+    #: of FIFO order.  Serial engine only (``workers == 0``).
+    sanitize: bool = False
+    #: Seed for the ``sim.sanitize`` permutation stream; distinct
+    #: seeds yield distinct legal schedules of the same model.
+    sanitize_seed: int = 0
 
     @classmethod
     def from_overrides(cls, **overrides) -> "ClusterConfig":
@@ -102,6 +109,10 @@ class LeedCluster:
             raise ValueError("pass either a config or keyword overrides")
         self.config = config
         self.engine = None
+        if config.sanitize and config.workers > 0:
+            raise ValueError(
+                "sanitize mode needs workers == 0: the parallel engine's "
+                "windowed dispatcher depends on FIFO tie order")
         if config.workers > 0:
             if config.workers >= 2 and config.trace_sample_interval:
                 raise ValueError(
@@ -117,7 +128,8 @@ class LeedCluster:
             for index in range(config.num_jbofs):
                 self._shard_sims[index + 1] = Simulator()
         else:
-            self.sim = Simulator()
+            self.sim = Simulator(sanitize=config.sanitize,
+                                 sanitize_seed=config.sanitize_seed)
             self._shard_sims = {0: self.sim}
         self.rng = RngRegistry(config.seed)
         self.network = Network(self.sim)
@@ -319,10 +331,16 @@ class LeedCluster:
             label=label)
 
     def all_vnode_stats(self) -> Dict[str, object]:
-        """Per-vnode protocol statistics, keyed by vnode id."""
+        """Per-vnode protocol statistics, keyed by vnode id.
+
+        Serial-mode reporting only: with parallel workers the local
+        node objects are stale fork-time copies (see
+        :meth:`energy_joules` for the probe-based alternative).
+        """
         stats = {}
         for node in self.jbofs:
-            for vnode_id, runtime in node.vnodes.items():
+            # Serial-mode diagnostics: workers own no vnode state here.
+            for vnode_id, runtime in node.vnodes.items():  # simlint: ignore[SIM008]
                 stats[vnode_id] = runtime.stats
         return stats
 

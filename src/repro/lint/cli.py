@@ -2,9 +2,12 @@
 
 Usage::
 
-    python -m repro.lint [paths...] [--format text|json]
+    python -m repro.lint [paths...] [--format text|json|sarif]
     repro-lint src                      # console script
     python -m repro.lint --list-rules
+    python -m repro.lint src --select SIM007,SIM008,SIM009
+    python -m repro.lint src --write-baseline lint-baseline.json
+    python -m repro.lint src --baseline lint-baseline.json
 
 Exit codes: 0 clean, 1 findings, 2 parse/read errors.
 """
@@ -13,34 +16,84 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.lint.config import LintConfig
-from repro.lint.engine import run, to_json, to_text
+from repro.lint.engine import (
+    load_baseline,
+    run,
+    to_json,
+    to_text,
+    write_baseline,
+)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from repro.lint.rules import catalog_range, default_rules
+
     parser = argparse.ArgumentParser(
         prog="repro-lint",
-        description="Simulation-safety static analysis (rules "
-                    "SIM001-SIM005; see docs/determinism.md).")
+        description="Simulation-safety static analysis (rules %s; see "
+                    "docs/static-analysis.md)." % catalog_range())
     parser.add_argument("paths", nargs="*",
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="report format")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run "
+                             "(e.g. SIM007,SIM008)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="tolerate findings recorded in this "
+                             "baseline file")
+    parser.add_argument("--write-baseline", metavar="FILE",
+                        dest="write_baseline",
+                        help="record current findings as the baseline "
+                             "and exit 0")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalog and exit")
     args = parser.parse_args(argv)
 
     config = LintConfig()
     if args.list_rules:
-        from repro.lint.rules import default_rules
         for rule in default_rules(config):
             print("%s  %s" % (rule.rule_id, rule.title))
         return 0
 
-    report = run(args.paths or ["src"], config)
-    print(to_json(report) if args.format == "json" else to_text(report))
+    select = None
+    if args.select:
+        select = [rule_id for rule_id in args.select.split(",") if rule_id]
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    try:
+        report = run(args.paths or ["src"], config,
+                     select=select, baseline=baseline)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            write_baseline(report) + "\n", encoding="utf-8")
+        print("wrote %d finding(s) to baseline %s"
+              % (len(report.findings), args.write_baseline))
+        return 2 if report.errors else 0
+
+    if args.format == "json":
+        rendered = to_json(report)
+    elif args.format == "sarif":
+        from repro.lint.sarif import to_sarif
+        active = default_rules(config)
+        if select:
+            wanted = {rule_id.strip().upper() for rule_id in select}
+            active = [rule for rule in active if rule.rule_id in wanted]
+        rendered = to_sarif(report, active)
+    else:
+        rendered = to_text(report)
+    if args.output:
+        Path(args.output).write_text(rendered + "\n", encoding="utf-8")
+    else:
+        print(rendered)
     return report.exit_code
 
 

@@ -87,6 +87,15 @@ class LintConfig:
     #: every node its initial ring synchronously during ``start()``).
     cross_shard_allow_methods: Tuple[str, ...] = ("apply_membership",)
 
+    #: Call names treated as digest/record sinks by SIM009: values
+    #: derived from set-iteration or ``id()`` must not reach them.
+    #: Matched against the last component of the dotted call name; any
+    #: component containing "digest" is a sink regardless of this list
+    #: (covers ``self._digest.update(...)``-style folds).
+    digest_sink_calls: Tuple[str, ...] = (
+        "observe", "record", "figure_digest", "schedule_digest", "fold",
+    )
+
     def allows(self, allow: Tuple[str, ...], relpath: str) -> bool:
         """True when ``relpath`` matches an allowlist entry (by suffix)."""
         return any(relpath.endswith(entry) for entry in allow)

@@ -2,9 +2,12 @@
 
 A :class:`Rule` inspects one parsed module and yields
 :class:`Finding` records.  The engine walks the requested paths,
-parses each Python file once, runs every rule over it, filters
-per-line suppressions (``# simlint: ignore[SIM001]``), and renders
-the surviving findings as text or JSON.
+parses each Python file exactly once into a :class:`ModuleSource`
+carrying a shared :class:`ModuleIndex` — a one-pass node index plus a
+per-function CFG cache every rule draws from instead of re-walking
+the tree — runs every (selected) rule over it, filters per-line
+suppressions (``# simlint: ignore[SIM001]``) and baseline entries,
+and renders the surviving findings as text, JSON, or SARIF.
 
 Exit codes: 0 clean, 1 findings, 2 files that failed to parse.
 """
@@ -14,11 +17,21 @@ from __future__ import annotations
 import ast
 import json
 import re
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path, PurePosixPath
-from typing import Iterable, Iterator, List, Optional, Sequence
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.lint.config import LintConfig
+from repro.lint.flow import ControlFlowGraph, build_cfg
 
 #: ``# simlint: ignore`` suppresses every rule on the line;
 #: ``# simlint: ignore[SIM001, SIM003]`` only the listed rules.
@@ -41,6 +54,45 @@ class Finding:
             self.path, self.line, self.col, self.rule, self.message)
 
 
+class ModuleIndex:
+    """A single-pass node index over one parsed module.
+
+    Built once per file and shared by every rule: ``nodes(T, ...)``
+    replaces per-rule ``ast.walk`` sweeps, ``functions()`` lists all
+    defs, and ``cfg(func)`` memoizes control-flow graphs so the
+    dataflow rules (SIM007+) pay CFG construction once per function
+    regardless of how many analyses run over it.
+    """
+
+    def __init__(self, tree: ast.AST):
+        self._by_type: Dict[type, List[ast.AST]] = {}
+        for node in ast.walk(tree):
+            self._by_type.setdefault(type(node), []).append(node)
+        self._cfgs: Dict[int, ControlFlowGraph] = {}
+
+    def nodes(self, *types: type) -> List[ast.AST]:
+        """All nodes of the exact AST classes given, in walk order."""
+        if len(types) == 1:
+            return self._by_type.get(types[0], [])
+        result: List[ast.AST] = []
+        for node_type in types:
+            result.extend(self._by_type.get(node_type, []))
+        return result
+
+    def functions(self) -> List[ast.AST]:
+        """Every def in the module, including nested ones."""
+        return self.nodes(ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def cfg(self, func: ast.AST) -> ControlFlowGraph:
+        """The (cached) control-flow graph of one function body."""
+        key = id(func)
+        cached = self._cfgs.get(key)
+        if cached is None:
+            cached = build_cfg(func)
+            self._cfgs[key] = cached
+        return cached
+
+
 @dataclass
 class ModuleSource:
     """A parsed module plus the metadata rules key off."""
@@ -51,6 +103,11 @@ class ModuleSource:
     text: str
     lines: List[str]
     tree: ast.AST
+    index: ModuleIndex = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self):
+        if self.index is None:
+            self.index = ModuleIndex(self.tree)
 
 
 class Rule:
@@ -118,6 +175,7 @@ class LintReport:
     findings: List[Finding]
     files_checked: int
     errors: List[str]
+    baselined: int = 0        #: findings swallowed by the baseline file
 
     @property
     def exit_code(self) -> int:
@@ -137,13 +195,72 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
             yield path
 
 
+def baseline_key(finding: Finding) -> str:
+    """Line-number-independent identity of a finding.
+
+    Baselines survive unrelated edits to the same file by keying on
+    (rule, path, message) rather than exact position; duplicates are
+    matched by multiplicity.
+    """
+    return "%s::%s::%s" % (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Parse a baseline file into key -> allowed count."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    counts: Dict[str, int] = {}
+    for key in data.get("findings", []):
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def write_baseline(report: "LintReport") -> str:
+    """Serialize the report's findings as a baseline file."""
+    return json.dumps({
+        "comment": "simlint baseline: findings listed here are "
+                   "tolerated until paid down; regenerate with "
+                   "--write-baseline",
+        "findings": sorted(baseline_key(f) for f in report.findings),
+    }, indent=2)
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Dict[str, int]) -> Tuple[List[Finding], int]:
+    """Split findings into (new, baselined_count)."""
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    matched = 0
+    for finding in findings:
+        key = baseline_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            matched += 1
+        else:
+            fresh.append(finding)
+    return fresh, matched
+
+
 def run(paths: Sequence[str], config: Optional[LintConfig] = None,
-        rules: Optional[Iterable[Rule]] = None) -> LintReport:
-    """Lint ``paths`` and return the report."""
+        rules: Optional[Iterable[Rule]] = None,
+        select: Optional[Iterable[str]] = None,
+        baseline: Optional[Dict[str, int]] = None) -> LintReport:
+    """Lint ``paths`` and return the report.
+
+    ``select`` restricts the run to the given rule ids; ``baseline``
+    (from :func:`load_baseline`) filters out tolerated findings,
+    recording how many matched in ``report.baselined``.
+    """
     from repro.lint.rules import default_rules
 
     config = config or LintConfig()
     active = list(rules) if rules is not None else default_rules(config)
+    if select is not None:
+        wanted: Set[str] = {rule_id.strip().upper() for rule_id in select}
+        unknown = wanted - {rule.rule_id for rule in active}
+        if unknown:
+            raise ValueError("unknown rule id(s): %s"
+                             % ", ".join(sorted(unknown)))
+        active = [rule for rule in active if rule.rule_id in wanted]
     findings: List[Finding] = []
     errors: List[str] = []
     files_checked = 0
@@ -159,7 +276,10 @@ def run(paths: Sequence[str], config: Optional[LintConfig] = None,
                 if not suppressed(source, finding):
                     findings.append(finding)
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
-    return LintReport(findings, files_checked, errors)
+    baselined = 0
+    if baseline:
+        findings, baselined = apply_baseline(findings, baseline)
+    return LintReport(findings, files_checked, errors, baselined)
 
 
 def to_text(report: LintReport) -> str:
@@ -167,9 +287,12 @@ def to_text(report: LintReport) -> str:
     lines = [finding.format() for finding in report.findings]
     for error in report.errors:
         lines.append("error: %s" % error)
-    lines.append("%d file%s checked, %d finding%s" % (
+    summary = "%d file%s checked, %d finding%s" % (
         report.files_checked, "" if report.files_checked == 1 else "s",
-        len(report.findings), "" if len(report.findings) == 1 else "s"))
+        len(report.findings), "" if len(report.findings) == 1 else "s")
+    if report.baselined:
+        summary += " (%d baselined)" % report.baselined
+    lines.append(summary)
     return "\n".join(lines)
 
 
@@ -179,5 +302,6 @@ def to_json(report: LintReport) -> str:
         "files_checked": report.files_checked,
         "findings": [asdict(finding) for finding in report.findings],
         "errors": list(report.errors),
+        "baselined": report.baselined,
         "exit_code": report.exit_code,
     }, indent=2, sort_keys=True)

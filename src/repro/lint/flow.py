@@ -1,0 +1,310 @@
+"""Control-flow-graph and dataflow scaffolding for the simlint rules.
+
+The per-line rules (SIM001-SIM006) pattern-match single statements.
+The race-oriented rules (SIM007-SIM009, :mod:`repro.lint.races`) need
+to reason about *paths*: a value read before a ``yield`` and written
+after it, a node reference flowing through locals and containers to a
+method call, set-order data reaching a digest.  This module provides
+the shared machinery:
+
+* :func:`build_cfg` — a statement-level control-flow graph for one
+  function body, with branch tests materialised as block elements so
+  reads inside ``if``/``while`` conditions are visible to analyses;
+* :class:`DataflowAnalysis` — a worklist fixpoint driver over a CFG;
+* small AST helpers (:func:`dotted`, :func:`scope_nodes`,
+  :func:`nested_functions`, :func:`count_yields`) shared by the rule
+  catalog.
+
+Every ``yield`` / ``yield from`` / ``await`` is a *scheduling point*:
+under the cooperative run-to-completion model (the SPDK reactor LEED
+runs on, mirrored by :mod:`repro.sim.process`) a handler owns the
+world between scheduling points and owns nothing across them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+#: AST expression nodes that suspend the enclosing handler.
+YIELD_NODES = (ast.Yield, ast.YieldFrom, ast.Await)
+
+#: Function-ish scopes that open a new lexical namespace.
+SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+def dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
+    """All descendants of ``scope`` in the same lexical scope."""
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, SCOPE_NODES):
+            continue
+        yield child
+        yield from scope_nodes(child)
+
+
+def nested_functions(scope: ast.AST) -> Iterator[ast.AST]:
+    """Function definitions nested directly under ``scope``."""
+    for child in ast.iter_child_nodes(scope):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield child
+        elif not isinstance(child, ast.Lambda):
+            yield from nested_functions(child)
+
+
+def count_yields(node: ast.AST) -> int:
+    """Scheduling points inside ``node``, ignoring nested functions.
+
+    A ``node`` that is itself a function definition counts as zero:
+    from the enclosing scope's view its yields belong to the nested
+    generator, not to the caller's control flow.
+    """
+    if isinstance(node, SCOPE_NODES):
+        return 0
+    total = 0
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, SCOPE_NODES):
+            continue
+        if isinstance(child, YIELD_NODES):
+            total += 1
+        total += count_yields(child)
+    return total
+
+
+def has_yield(func: ast.AST) -> bool:
+    """True when ``func``'s own body contains a scheduling point."""
+    return any(count_yields(stmt) for stmt in getattr(func, "body", []))
+
+
+class Block:
+    """One straight-line run of CFG elements.
+
+    ``elements`` holds statements in execution order; branch tests and
+    loop iterables are included as bare expression nodes so dataflow
+    transfer functions observe the reads they perform.
+    """
+
+    __slots__ = ("index", "elements", "successors")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.elements: List[ast.AST] = []
+        self.successors: List[int] = []
+
+    def link(self, other: "Block") -> None:
+        if other.index not in self.successors:
+            self.successors.append(other.index)
+
+    def __repr__(self):
+        return "<Block %d stmts=%d succ=%r>" % (
+            self.index, len(self.elements), self.successors)
+
+
+class ControlFlowGraph:
+    """Statement-level CFG for one function body."""
+
+    def __init__(self):
+        self.blocks: List[Block] = []
+        self.entry: Optional[Block] = None
+
+    def new_block(self) -> Block:
+        block = Block(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    def predecessors(self) -> Dict[int, List[int]]:
+        preds: Dict[int, List[int]] = {b.index: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ in block.successors:
+                preds[succ].append(block.index)
+        return preds
+
+
+class _CfgBuilder:
+    """Recursive-descent CFG construction.
+
+    Constructs that do not branch (With, simple statements) extend the
+    current block; branching constructs split it.  ``try`` bodies are
+    modelled conservatively: every handler is reachable from the start
+    of the body, and ``finally`` runs on the fall-through path — precise
+    enough for may-analyses, which is all the rules need.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        #: (continue_target, break_target) per enclosing loop.
+        self.loop_stack: List[Tuple[Block, Block]] = []
+        #: Exit sink for return/raise paths (analysis never reads it).
+        self.exit_block = cfg.new_block()
+
+    def build(self, body: List[ast.stmt], entry: Block) -> Block:
+        """Lay ``body`` down starting at ``entry``; returns the block
+        control falls out of (possibly unreachable)."""
+        current = entry
+        for stmt in body:
+            current = self.statement(stmt, current)
+        return current
+
+    def statement(self, stmt: ast.stmt, current: Block) -> Block:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                current.elements.append(item.context_expr)
+            return self.build(stmt.body, current)
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_stack:
+                head, after = self.loop_stack[-1]
+                current.link(after if isinstance(stmt, ast.Break) else head)
+            return self.cfg.new_block()  # unreachable fall-through
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            current.elements.append(stmt)
+            current.link(self.exit_block)
+            return self.cfg.new_block()  # unreachable fall-through
+        current.elements.append(stmt)
+        return current
+
+    def _if(self, stmt: ast.If, current: Block) -> Block:
+        current.elements.append(stmt.test)
+        then_entry = self.cfg.new_block()
+        current.link(then_entry)
+        then_exit = self.build(stmt.body, then_entry)
+        after = self.cfg.new_block()
+        then_exit.link(after)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            current.link(else_entry)
+            self.build(stmt.orelse, else_entry).link(after)
+        else:
+            current.link(after)
+        return after
+
+    def _loop(self, stmt, current: Block) -> Block:
+        head = self.cfg.new_block()
+        current.link(head)
+        if isinstance(stmt, ast.While):
+            head.elements.append(stmt.test)
+        else:
+            head.elements.append(stmt.iter)
+        body_entry = self.cfg.new_block()
+        after = self.cfg.new_block()
+        head.link(body_entry)
+        head.link(after)
+        if not isinstance(stmt, ast.While):
+            # The loop binding executes on entry to each iteration.
+            body_entry.elements.append(
+                ast.copy_location(
+                    ast.Assign(targets=[stmt.target], value=stmt.iter),
+                    stmt))
+        self.loop_stack.append((head, after))
+        body_exit = self.build(stmt.body, body_entry)
+        self.loop_stack.pop()
+        body_exit.link(head)
+        if stmt.orelse:
+            else_entry = self.cfg.new_block()
+            head.link(else_entry)
+            self.build(stmt.orelse, else_entry).link(after)
+        return after
+
+    def _try(self, stmt: ast.Try, current: Block) -> Block:
+        body_entry = self.cfg.new_block()
+        current.link(body_entry)
+        after = self.cfg.new_block()
+        body_exit = self.build(stmt.body, body_entry)
+        else_exit = (self.build(stmt.orelse, self.cfg.new_block())
+                     if stmt.orelse else None)
+        if else_exit is not None:
+            body_exit.link(else_exit)  # re-using body_exit -> else chain
+        handler_exits = []
+        for handler in stmt.handlers:
+            handler_entry = self.cfg.new_block()
+            # An exception may fire anywhere in the body: model the
+            # handler as reachable from the body's entry.
+            body_entry.link(handler_entry)
+            handler_exits.append(self.build(handler.body, handler_entry))
+        tails = [else_exit if else_exit is not None else body_exit]
+        tails.extend(handler_exits)
+        if stmt.finalbody:
+            final_entry = self.cfg.new_block()
+            for tail in tails:
+                tail.link(final_entry)
+            self.build(stmt.finalbody, final_entry).link(after)
+        else:
+            for tail in tails:
+                tail.link(after)
+        return after
+
+
+def build_cfg(func: ast.AST) -> ControlFlowGraph:
+    """CFG for one FunctionDef/AsyncFunctionDef body."""
+    cfg = ControlFlowGraph()
+    builder = _CfgBuilder(cfg)
+    entry = cfg.new_block()
+    cfg.entry = entry
+    tail = builder.build(list(getattr(func, "body", [])), entry)
+    tail.link(builder.exit_block)
+    return cfg
+
+
+class DataflowAnalysis:
+    """Worklist fixpoint driver over a :class:`ControlFlowGraph`.
+
+    Parameterised by three callables:
+
+    * ``initial()`` — the state at function entry;
+    * ``transfer(block, state)`` — returns the state after executing
+      ``block`` (must not mutate its argument);
+    * ``merge(a, b)`` — join of two path states.
+
+    States must define ``__eq__``; the driver iterates until entry
+    states stop changing, with a hard cap proportional to the CFG size
+    as a defence against non-monotone transfer bugs.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph,
+                 initial: Callable[[], object],
+                 transfer: Callable[[Block, object], object],
+                 merge: Callable[[object, object], object]):
+        self.cfg = cfg
+        self.initial = initial
+        self.transfer = transfer
+        self.merge = merge
+        #: Entry state per block index, populated by :meth:`run`.
+        self.entry_states: Dict[int, object] = {}
+
+    def run(self) -> None:
+        cfg = self.cfg
+        if cfg.entry is None:
+            return
+        self.entry_states = {cfg.entry.index: self.initial()}
+        worklist = [cfg.entry.index]
+        budget = max(len(cfg.blocks), 1) * 8 + 32
+        while worklist and budget > 0:
+            budget -= 1
+            index = worklist.pop()
+            state = self.entry_states.get(index)
+            if state is None:
+                continue
+            out = self.transfer(cfg.blocks[index], state)
+            for succ in cfg.blocks[index].successors:
+                prior = self.entry_states.get(succ)
+                joined = out if prior is None else self.merge(prior, out)
+                if prior is None or joined != prior:
+                    self.entry_states[succ] = joined
+                    if succ not in worklist:
+                        worklist.append(succ)

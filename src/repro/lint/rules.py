@@ -1,8 +1,10 @@
-"""The simlint rule catalog (SIM001-SIM006).
+"""The simlint rule catalog.
 
 Each rule targets one class of reproducibility leak a discrete-event
-simulation cannot tolerate.  ``docs/determinism.md`` documents the
-catalog and the rationale in prose.
+simulation cannot tolerate.  ``docs/static-analysis.md`` documents
+the catalog and the rationale in prose.  The registered rules are
+appended to this docstring at import time (see :func:`catalog_lines`)
+so the header can never drift from the code again.
 """
 
 from __future__ import annotations
@@ -13,6 +15,9 @@ from typing import Iterator, List, Optional, Set
 
 from repro.lint.config import LintConfig
 from repro.lint.engine import Finding, ModuleSource, Rule
+from repro.lint.flow import dotted as _dotted
+from repro.lint.flow import nested_functions as _nested_functions
+from repro.lint.flow import scope_nodes as _scope_nodes
 
 #: Module-level names matching this are treated as intentional
 #: constants (registry tables such as ``WORKLOADS``) by SIM005.
@@ -38,36 +43,6 @@ MUTABLE_FACTORIES = {
 }
 
 
-def _dotted(node: ast.AST) -> Optional[str]:
-    """``a.b.c`` for a Name/Attribute chain, else None."""
-    parts: List[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    parts.append(node.id)
-    return ".".join(reversed(parts))
-
-
-def _scope_nodes(scope: ast.AST) -> Iterator[ast.AST]:
-    """All descendants of ``scope`` in the same lexical scope."""
-    for child in ast.iter_child_nodes(scope):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                              ast.Lambda)):
-            continue
-        yield child
-        yield from _scope_nodes(child)
-
-
-def _nested_functions(scope: ast.AST) -> Iterator[ast.AST]:
-    for child in ast.iter_child_nodes(scope):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            yield child
-        elif not isinstance(child, ast.Lambda):
-            yield from _nested_functions(child)
-
-
 class DirectRandomUse(Rule):
     """SIM001: the ``random`` module is off limits outside the registry.
 
@@ -83,7 +58,8 @@ class DirectRandomUse(Rule):
     def check(self, source: ModuleSource) -> Iterator[Finding]:
         if self.config.allows(self.config.rng_allow, source.relpath):
             return
-        for node in ast.walk(source.tree):
+        for node in source.index.nodes(ast.Import, ast.ImportFrom,
+                                       ast.Attribute):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     if alias.name == "random" or \
@@ -122,7 +98,7 @@ class WallClockUse(Rule):
     def check(self, source: ModuleSource) -> Iterator[Finding]:
         if self.config.allows(self.config.wall_clock_allow, source.relpath):
             return
-        for node in ast.walk(source.tree):
+        for node in source.index.nodes(ast.Call, ast.ImportFrom):
             if isinstance(node, ast.Call):
                 name = _dotted(node.func)
                 if name and (name in WALL_CLOCK_CALLS
@@ -164,7 +140,7 @@ class UnsortedSetIteration(Rule):
         # a non-set value anywhere in its scope (``gainers =
         # sorted(set(gainers))``) is ambiguous and never flagged.
         attr_names = self._collect_names(
-            ast.walk(source.tree), attributes=True)
+            source.index.nodes(ast.Assign, ast.AnnAssign), attributes=True)
         yield from self._check_scope(source, source.tree, attr_names)
 
     def _check_scope(self, source: ModuleSource, scope: ast.AST,
@@ -292,7 +268,7 @@ class ImportLayering(Rule):
         allowed = self.config.layers.get(layer)
         if allowed is None:
             return
-        for node in ast.walk(source.tree):
+        for node in source.index.nodes(ast.Import, ast.ImportFrom):
             imported: List[str] = []
             if isinstance(node, ast.Import):
                 imported = [alias.name for alias in node.names]
@@ -346,18 +322,17 @@ class MutableSharedState(Rule):
         return None
 
     def check(self, source: ModuleSource) -> Iterator[Finding]:
-        for node in ast.walk(source.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                defaults = list(node.args.defaults) + \
-                    [d for d in node.args.kw_defaults if d is not None]
-                for default in defaults:
-                    described = self._mutable_value(default)
-                    if described is not None:
-                        yield self.finding(
-                            source, default,
-                            "mutable default argument (%s) in %s(); "
-                            "default to None and construct inside the "
-                            "function" % (described, node.name))
+        for node in source.index.functions():
+            defaults = list(node.args.defaults) + \
+                [d for d in node.args.kw_defaults if d is not None]
+            for default in defaults:
+                described = self._mutable_value(default)
+                if described is not None:
+                    yield self.finding(
+                        source, default,
+                        "mutable default argument (%s) in %s(); "
+                        "default to None and construct inside the "
+                        "function" % (described, node.name))
         for stmt in getattr(source.tree, "body", []):
             targets: List[ast.AST] = []
             value: Optional[ast.AST] = None
@@ -489,6 +464,8 @@ class CrossShardNodeCall(Rule):
 
 def default_rules(config: LintConfig) -> List[Rule]:
     """The shipped rule catalog, in rule-id order."""
+    from repro.lint.races import flow_rules
+
     return [
         DirectRandomUse(config),
         WallClockUse(config),
@@ -496,4 +473,24 @@ def default_rules(config: LintConfig) -> List[Rule]:
         ImportLayering(config),
         MutableSharedState(config),
         CrossShardNodeCall(config),
-    ]
+    ] + flow_rules(config)
+
+
+def catalog_lines() -> List[str]:
+    """``SIMxxx  title`` for every registered rule, in id order."""
+    return ["%s  %s" % (rule.rule_id, rule.title)
+            for rule in default_rules(LintConfig())]
+
+
+def catalog_range() -> str:
+    """The inclusive rule-id span, e.g. ``SIM001-SIM009``."""
+    rules = default_rules(LintConfig())
+    return "%s-%s" % (rules[0].rule_id, rules[-1].rule_id)
+
+
+# The catalog header is generated, not hand-maintained: appending it
+# here keeps the module docstring in lockstep with the registered
+# rule list (the old hand-written header drifted the moment SIM006
+# landed without a docstring update).
+__doc__ = (__doc__ or "") + "\nRegistered rules:\n\n" + \
+    "\n".join("* " + line for line in catalog_lines()) + "\n"

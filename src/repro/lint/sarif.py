@@ -1,0 +1,76 @@
+"""SARIF 2.1.0 rendering for simlint reports.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+hosts and IDEs ingest for inline annotation; emitting it lets the CI
+lint jobs publish findings next to the JSON artifact without a
+bespoke converter.  Only the minimal, spec-valid subset is produced:
+one run, one driver, one result per finding, one rule descriptor per
+registered rule.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.lint.engine import LintReport, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def to_sarif(report: LintReport,
+             rules: Optional[Iterable[Rule]] = None) -> str:
+    """Render ``report`` as a SARIF 2.1.0 log (stable key order)."""
+    descriptors = []
+    for rule in rules or ():
+        descriptors.append({
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.title},
+            "fullDescription": {
+                "text": (rule.__doc__ or rule.title).strip().split("\n")[0],
+            },
+        })
+    results = []
+    for finding in report.findings:
+        results.append({
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col,
+                    },
+                },
+            }],
+        })
+    invocation = {
+        "executionSuccessful": not report.errors,
+        "exitCode": report.exit_code,
+    }
+    if report.errors:
+        invocation["toolExecutionNotifications"] = [
+            {"level": "error", "message": {"text": error}}
+            for error in report.errors
+        ]
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "simlint",
+                    "rules": descriptors,
+                },
+            },
+            "invocations": [invocation],
+            "results": results,
+        }],
+    }
+    return json.dumps(log, indent=2, sort_keys=True)

@@ -70,7 +70,8 @@ class Simulator:
         assert proc.value == "done"
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, sanitize: bool = False,
+                 sanitize_seed: int = 0):
         self._now = float(start_time)
         self._heap: list = []
         #: FIFO of (sequence, event) for zero-delay normal-priority
@@ -82,6 +83,21 @@ class Simulator:
         self._digest_events = 0
         self._events_dispatched = 0
         self._timeout_pool: list = []
+        #: Order-dependence sanitizer (TSan-style runtime oracle): when
+        #: enabled, same-timestamp normal-priority ties are broken by a
+        #: named RNG stream instead of FIFO order.  Every such order is
+        #: a legal cooperative schedule, so *functional* outcomes must
+        #: not change; code whose results move under the permutation
+        #: has a hidden order dependence (see docs/static-analysis.md).
+        self._sanitize_rng = None
+        if sanitize:
+            from repro.sim.rng import derive_stream
+            self._sanitize_rng = derive_stream(sanitize_seed, "sim.sanitize")
+
+    @property
+    def sanitizing(self) -> bool:
+        """True when tie-permutation sanitize mode is active."""
+        return self._sanitize_rng is not None
 
     # -- inspection ---------------------------------------------------------
 
@@ -207,6 +223,18 @@ class Simulator:
         heap = self._heap
         if imm:
             now = self._now
+            if self._sanitize_rng is not None:
+                # Sanitize mode: interrupts still preempt, but the
+                # FIFO tie among same-timestep normal events is broken
+                # at random — any pick is a legal schedule.
+                if heap:
+                    head = heap[0]
+                    if head[0] == now and head[1] < NORMAL_PRIORITY:
+                        return heapq.heappop(heap)
+                pick = self._sanitize_rng.randrange(len(imm))
+                sequence, event = imm[pick]
+                del imm[pick]
+                return (now, NORMAL_PRIORITY, sequence, event)
             if heap:
                 head = heap[0]
                 if head[0] == now and (
@@ -257,7 +285,12 @@ class Simulator:
         Drains same-timestamp immediate events back-to-back without
         re-entering the dispatch preamble (deadline check, heap pop)
         between them.  Dispatch order matches :meth:`step` exactly.
+        In sanitize mode the inlined FIFO fast path is bypassed and
+        every event goes through :meth:`step`, which applies the
+        permuted tie-breaking.
         """
+        if self._sanitize_rng is not None:
+            return self._run_sanitized(until)
         stop_event: Optional[Event] = None
         if until is None:
             deadline = float("inf")
@@ -338,6 +371,49 @@ class Simulator:
             self._now = deadline
         return None
 
+    def _run_sanitized(self, until: Any = None) -> Any:
+        """Sanitize-mode dispatch loop: :meth:`step` per event.
+
+        Semantics match :meth:`run_batch`; only the tie order differs.
+        Timeout pooling is skipped — the sanitizer optimizes for
+        schedule coverage, not throughput.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            deadline = float("inf")
+        elif isinstance(until, Event):
+            stop_event = until
+            deadline = float("inf")
+            if stop_event.callbacks is not None:
+                stop_event.callbacks.append(self._stop_on_event)
+            elif stop_event.triggered:
+                return self._event_outcome(stop_event)
+        else:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError("cannot run until %r, now is %r"
+                                 % (deadline, self._now))
+        try:
+            while self._heap or self._imm:
+                if not self._imm and self._heap[0][0] > deadline:
+                    self._now = deadline
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            if stop_event is not None and stop_event.triggered:
+                return self._event_outcome(stop_event)
+            return stop.value
+        if stop_event is not None and not stop_event.triggered:
+            raise RuntimeError(
+                "run() until an event, but the simulation ran out of events "
+                "before %r triggered" % stop_event
+            )
+        if stop_event is not None:
+            return self._event_outcome(stop_event)
+        if deadline != float("inf"):
+            self._now = deadline
+        return None
+
     def run_window(self, end: float,
                    inclusive: bool = False) -> Optional[StopSimulation]:
         """Dispatch every event scheduled before ``end``; keep the rest.
@@ -351,6 +427,11 @@ class Simulator:
         timestamps.  Returns the :class:`StopSimulation` that escaped a
         callback (``run(until=event)`` support), or ``None``.
         """
+        if self._sanitize_rng is not None:
+            raise RuntimeError(
+                "sanitize mode is serial-only: the windowed parallel "
+                "dispatcher relies on FIFO tie order for its cross-shard "
+                "digest contract")
         end = float(end)
         heap = self._heap
         imm = self._imm

@@ -410,5 +410,5 @@ class TestShippedTree:
             env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"})
         assert proc.returncode == 0
         for rule_id in ("SIM001", "SIM002", "SIM003", "SIM004", "SIM005",
-                        "SIM006"):
+                        "SIM006", "SIM007", "SIM008", "SIM009"):
             assert rule_id in proc.stdout
