@@ -34,6 +34,7 @@ EXPERIMENTS = {
     "fig14": "Latency vs throughput, 256B objects (appendix)",
     "ablation_craq": "Dirty reads: CRRS shipping vs CRAQ version queries",
     "ablation_lsm": "Data structure: circular log vs leveled LSM-tree",
+    "ablation_replication": "Replication: chain vs CRAQ vs ABD quorums",
 }
 
 

@@ -24,6 +24,7 @@ from repro.bench.harness import (
     scale_profile,
 )
 from repro.core.jbof import LeedOptions
+from repro.core.replication import DirtyReadMode
 from repro.workloads.ycsb import YCSBWorkload
 
 
@@ -36,7 +37,7 @@ def run(scale: str = QUICK) -> ExperimentResult:
                  "version_queries", "extra_bytes"])
     # Few records + write-heavy mix keeps keys dirty while reads race.
     records = max(profile.num_records // 10, 40)
-    for mode in ("ship", "craq"):
+    for mode in (DirtyReadMode.SHIP, DirtyReadMode.CRAQ):
         options = replace(LeedOptions(), dirty_read_mode=mode)
         workload = YCSBWorkload("A", records, value_size=1024,
                                 skew=0.99, seed=77)
@@ -51,7 +52,7 @@ def run(scale: str = QUICK) -> ExperimentResult:
                 shipped += runtime.stats.reads_shipped
                 queries += runtime.stats.version_queries
                 extra += runtime.stats.version_query_bytes
-        result.add(mode=mode, kqps=stats.throughput_qps / 1e3,
+        result.add(mode=str(mode), kqps=stats.throughput_qps / 1e3,
                    avg_ms=stats.mean_latency_us() / 1e3,
                    p999_ms=stats.percentile_us(0.999) / 1e3,
                    reads_shipped=shipped, version_queries=queries,

@@ -135,7 +135,8 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
                   num_nodes: Optional[int] = None,
                   num_clients: Optional[int] = None,
                   replication: int = 3, workers: int = 0,
-                  sanitize_seed: Optional[int] = None) -> LeedCluster:
+                  sanitize_seed: Optional[int] = None,
+                  replication_protocol: str = "chain") -> LeedCluster:
     """A scaled-down deployment of one of the three systems.
 
     Platforms keep their stock hardware models (full-speed SSDs, real
@@ -149,6 +150,8 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
     with ``workers > 0``) enables the order-dependence sanitizer:
     same-timestamp scheduling ties are permuted by the ``sim.sanitize``
     stream seeded with that value (see ``repro.lint.sanitize``).
+    ``replication_protocol`` picks the write/read protocol
+    (``"chain"`` | ``"craq"`` | ``"abd"``, see ``repro.core.replication``).
     """
     profile = scale_profile(scale, value_size)
     if system == "leed":
@@ -177,6 +180,7 @@ def build_cluster(system: str, scale: str = QUICK, value_size: int = 1024,
         num_clients=(num_clients if num_clients is not None
                      else profile.num_clients),
         replication=replication,
+        replication_protocol=replication_protocol,
         store_config=store, options=options, seed=seed, workers=workers,
         sanitize=sanitize_seed is not None,
         sanitize_seed=sanitize_seed if sanitize_seed is not None else 0)

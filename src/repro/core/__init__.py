@@ -33,8 +33,19 @@ from repro.core.jbof import (
 from repro.core.membership import ControlPlane, CopyTask, VNodeInfo
 from repro.core.protocol import KVReply, KVRequest
 from repro.core.recovery import RecoveryReport, recover_store
+from repro.core.replication import (
+    AbdQuorum,
+    ChainReplication,
+    CraqChain,
+    DirtyReadMode,
+    ReplicationPolicy,
+    make_policy,
+    protocol_names,
+    register_protocol,
+)
 from repro.core.segment import Bucket, KeyItem, Segment, key_hash
 from repro.core.segtbl import SegTbl
+from repro.core.wal import WalRecord, WalStats, WriteAheadLog
 
 __all__ = [
     "CircularLog", "LogFullError", "LogRangeError",
@@ -52,4 +63,7 @@ __all__ = [
     "FrontEndClient", "ClientResult", "ClientStats",
     "LeedCluster", "ClusterConfig",
     "recover_store", "RecoveryReport",
+    "ReplicationPolicy", "ChainReplication", "CraqChain", "AbdQuorum",
+    "DirtyReadMode", "make_policy", "protocol_names", "register_protocol",
+    "WriteAheadLog", "WalRecord", "WalStats",
 ]

@@ -24,6 +24,7 @@ from repro.core.client import FrontEndClient
 from repro.core.jbof import JBOFNode, LeedOptions
 from repro.core.membership import ControlPlane
 from repro.core.protocol import ReadPolicy
+from repro.core.replication import protocol_names
 from repro.hw.platforms import STINGRAY, PlatformSpec
 from repro.net.topology import NIC_100G, Network, NicProfile
 from repro.obs.metrics import MetricsRegistry
@@ -49,6 +50,11 @@ class ClusterConfig:
     crrs: bool = True
     #: GET replica choice (:class:`ReadPolicy`, or its string value).
     read_policy: Optional[ReadPolicy] = None
+    #: Replication protocol every node runs ("chain" | "craq" | "abd",
+    #: or any name registered via
+    #: :func:`repro.core.replication.register_protocol`).  Validated
+    #: at construction: unknown names fail here, not mid-run.
+    replication_protocol: str = "chain"
     seed: int = 0
     heartbeat_timeout_us: float = 200_000.0
     #: Node NIC profile (100 GbE RDMA for JBOFs, 1 GbE USB for Pis).
@@ -82,6 +88,13 @@ class ClusterConfig:
     #: Seed for the ``sim.sanitize`` permutation stream; distinct
     #: seeds yield distinct legal schedules of the same model.
     sanitize_seed: int = 0
+
+    def __post_init__(self):
+        names = protocol_names()
+        if self.replication_protocol not in names:
+            raise ValueError(
+                "unknown replication protocol %r; registered protocols: %s"
+                % (self.replication_protocol, ", ".join(names)))
 
     @classmethod
     def from_overrides(cls, **overrides) -> "ClusterConfig":
@@ -138,7 +151,8 @@ class LeedCluster:
         self.metrics = MetricsRegistry(self.sim)
         self.control_plane = ControlPlane(
             self.sim, self.network, replication=config.replication,
-            heartbeat_timeout_us=config.heartbeat_timeout_us)
+            heartbeat_timeout_us=config.heartbeat_timeout_us,
+            replication_protocol=config.replication_protocol)
         self.jbofs: List[JBOFNode] = []
         for index in range(config.num_jbofs):
             node = config.node_class(
@@ -149,7 +163,8 @@ class LeedCluster:
                 store_config=config.store, options=config.options,
                 rng=self.rng.fork("jbof%d" % index),
                 nic_profile=config.nic_profile,
-                control_plane_address=self.control_plane.address)
+                control_plane_address=self.control_plane.address,
+                replication_protocol=config.replication_protocol)
             self.jbofs.append(node)
             self.control_plane.register_jbof(node)
         self.clients: List[FrontEndClient] = []

@@ -41,13 +41,18 @@ from repro.core.protocol import (
     STATUS_OVERLOADED,
     STATUS_STORE_FULL,
     STATUS_UNAVAILABLE,
-    ChainAck,
     CopyBatch,
     Heartbeat,
     KVReply,
     KVRequest,
     MembershipUpdate,
 )
+from repro.core.replication import (
+    VERSION_QUERY_BYTES,
+    DirtyReadMode,
+    make_policy,
+)
+from repro.core.wal import WriteAheadLog
 from repro.hw.cpu import CYCLE_COSTS, CpuComplex
 from repro.hw.dram import Dram
 from repro.hw.platforms import STINGRAY, PlatformSpec
@@ -63,8 +68,8 @@ JOINING = "JOINING"
 RUNNING = "RUNNING"
 LEAVING = "LEAVING"
 
-#: Wire size of one CRAQ-style version query / response.
-VERSION_QUERY_BYTES = 24
+# VERSION_QUERY_BYTES and DirtyReadMode moved to
+# repro.core.replication; re-exported here for compatibility.
 
 
 @dataclass
@@ -73,11 +78,13 @@ class LeedOptions:
 
     #: CRRS request shipping: reads at any clean replica (Fig. 7).
     enable_crrs: bool = True
-    #: Dirty-read resolution: "ship" forwards the whole request to the
-    #: tail (LEED's CRRS, §3.7); "craq" sends a small version query to
-    #: the tail and serves locally when the replica is up to date (the
-    #: alternative the paper rejected for its extra internal traffic).
-    dirty_read_mode: str = "ship"
+    #: Dirty-read resolution (:class:`DirtyReadMode`): ``SHIP``
+    #: forwards the whole request to the tail (LEED's CRRS, §3.7);
+    #: ``CRAQ`` sends a small version query to the tail and serves
+    #: locally when the replica is up to date (the alternative the
+    #: paper rejected for its extra internal traffic).  Bare strings
+    #: are coerced with a DeprecationWarning.
+    dirty_read_mode: DirtyReadMode = DirtyReadMode.SHIP
     #: Intra-JBOF write swapping (Fig. 10).
     enable_swap: bool = True
     #: Waiting-queue depth that marks an engine overloaded.
@@ -105,6 +112,16 @@ class LeedOptions:
     admission_batch: int = 1
     #: Max deferred same-destination requests packed into one SEND.
     rpc_coalesce_limit: int = 8
+    #: Journal replicated writes in the per-partition WAL
+    #: (:mod:`repro.core.wal`) so :meth:`JBOFNode.recover` can replay
+    #: intents whose acknowledgment was lost to a crash.  Appends are
+    #: pure memory, so the default-on journal never perturbs the
+    #: event schedule.
+    wal_enabled: bool = True
+
+    def __post_init__(self):
+        self.dirty_read_mode = (DirtyReadMode.coerce(self.dirty_read_mode)
+                                or DirtyReadMode.SHIP)
 
 
 @dataclass
@@ -120,6 +137,13 @@ class VNodeStats:
     copies_out: int = 0
     version_queries: int = 0
     version_query_bytes: int = 0
+    #: Quorum-protocol counters (ABD): phase rounds this vnode
+    #: coordinated, commits it applied as a replica, bytes its
+    #: coordinator sent, and reads that triggered write-back repair.
+    quorum_queries: int = 0
+    quorum_commits: int = 0
+    quorum_bytes: int = 0
+    read_repairs: int = 0
 
 
 class VNodeRuntime:
@@ -138,6 +162,10 @@ class VNodeRuntime:
         #: this replica has applied, and (on the tail) the committed one.
         self.applied_version: Dict[bytes, int] = {}
         self.committed_version: Dict[bytes, int] = {}
+        #: Replication-intent journal (capacitor-backed NVRAM model);
+        #: policies append before executing a replicated write and
+        #: retire on acknowledgment (see :mod:`repro.core.wal`).
+        self.wal = WriteAheadLog(vnode_id)
         self.stats = VNodeStats()
 
     def mark_dirty(self, key: bytes) -> None:
@@ -167,7 +195,8 @@ class JBOFNode:
                  options: Optional[LeedOptions] = None,
                  rng: Optional[RngRegistry] = None,
                  nic_profile: Optional[NicProfile] = None,
-                 control_plane_address: Optional[str] = None):
+                 control_plane_address: Optional[str] = None,
+                 replication_protocol: Optional[str] = None):
         if num_ssds < 1 or num_ssds > spec.max_ssds:
             raise ValueError("platform %s takes 1..%d SSDs"
                              % (spec.name, spec.max_ssds))
@@ -216,9 +245,22 @@ class JBOFNode:
         #: flight, writes committed here in those arcs are also shipped
         #: to the destination so the migrated range stays consistent.
         self._mirrors: Dict[str, List[dict]] = {}
+        #: Crash-recovery WAL replay report (None until a recover()
+        #: found journaled intents to replay).
+        self.wal_recovery: Optional[dict] = None
+
+        #: The replication protocol driving this node's write fan-out,
+        #: read resolution, and recovery replay.  ``dirty_read_mode``
+        #: is routed through the policy choice: the legacy CRAQ knob
+        #: selects the "craq" protocol when no explicit name is given.
+        protocol = replication_protocol or "chain"
+        if (protocol == "chain"
+                and self.options.dirty_read_mode is DirtyReadMode.CRAQ):
+            protocol = "craq"
+        self.policy = make_policy(protocol, self)
 
         self.rpc.register_raw("kv", self._handle_kv)
-        self.rpc.register("chain_ack", self._handle_chain_ack)
+        self.policy.register_handlers()
         self.rpc.register("copy_batch", self._handle_copy_batch)
         self.rpc.register("copy_mirror", self._handle_copy_mirror)
         self.rpc.register("do_copy", self._handle_do_copy)
@@ -226,7 +268,6 @@ class JBOFNode:
         self.rpc.register("mirror_end", self._handle_mirror_end)
         self.rpc.register("node_stop", self._handle_node_stop)
         self.rpc.register("membership", self._handle_membership)
-        self.rpc.register("version_query", self._handle_version_query)
         if self.options.fast_datapath:
             self._enable_fast_datapath()
         sim.process(self._maintenance(), name=address + ".maintenance")
@@ -340,6 +381,10 @@ class JBOFNode:
             peer = runtime.store
             if peer.ssd is store.ssd:
                 continue
+            if peer.store_id not in store.peer_stores:
+                # Not cross-registered (a vnode joined after build):
+                # GETs could not resolve a value swapped there.
+                continue
             if peer.value_log.free_bytes < len(value) + len(key) + 64:
                 continue
             gap = (home.engine.waiting_occupancy
@@ -412,12 +457,17 @@ class JBOFNode:
                 STATUS_NACK, ring_version=self.local_ring.version))
             return
         if body.op != "get":
-            self.sim.process(self._serve_write(runtime, request, body, chain),
-                             name="rpc-raw-kv@" + self.address)
+            if body.hop == 0:
+                writer = self.policy.on_client_write(runtime, request, body,
+                                                     chain)
+            else:
+                writer = self.policy.on_forward(runtime, request, body, chain)
+            self.sim.process(writer, name="rpc-raw-kv@" + self.address)
             return
-        if body.hop != len(chain) - 1 and runtime.is_dirty(body.key):
-            self.sim.process(self._serve_get(runtime, request, body, chain),
-                             name="rpc-raw-kv@" + self.address)
+        if not self.policy.fast_read_local(runtime, body, chain):
+            self.sim.process(
+                self.policy.serve_read(runtime, request, body, chain),
+                name="rpc-raw-kv@" + self.address)
             return
 
         command = KVCommand("get", body.key, tenant=body.tenant)
@@ -460,126 +510,20 @@ class JBOFNode:
             return
 
         if body.op == "get":
-            yield from self._serve_get(runtime, request, body, chain)
+            yield from self.policy.serve_read(runtime, request, body, chain)
+        elif body.hop == 0:
+            yield from self.policy.on_client_write(runtime, request, body,
+                                                   chain)
         else:
-            yield from self._serve_write(runtime, request, body, chain)
+            yield from self.policy.on_forward(runtime, request, body, chain)
 
     def _respond(self, request: RpcRequest, reply: KVReply) -> None:
         self.rpc.respond(request, reply, reply.wire_bytes())
 
-    def _serve_get(self, runtime: VNodeRuntime, request: RpcRequest,
-                   body: KVRequest, chain: List[str]):
-        is_tail = body.hop == len(chain) - 1
-        if not is_tail and runtime.is_dirty(body.key):
-            tail_id = chain[-1]
-            tail_vnode = self.local_ring.vnodes.get(tail_id)
-            if tail_vnode is None:
-                self._respond(request, KVReply(
-                    STATUS_NACK, ring_version=self.local_ring.version))
-                return
-            if self.options.dirty_read_mode == "craq":
-                # CRAQ-style: ask the tail which version is committed;
-                # serve locally when this replica already has it.
-                runtime.stats.version_queries += 1
-                runtime.stats.version_query_bytes += 2 * VERSION_QUERY_BYTES
-                try:
-                    committed = yield self.rpc.call(
-                        tail_vnode.jbof_address, "version_query",
-                        {"vnode": tail_id, "key": body.key},
-                        VERSION_QUERY_BYTES, timeout_us=50_000.0)
-                except Exception:
-                    committed = None
-                local = runtime.applied_version.get(body.key, 0)
-                if committed is not None and committed <= local:
-                    result = yield from self._execute(runtime, body)
-                    runtime.stats.reads_served += 1
-                    self._respond(request,
-                                  self._reply_for(runtime, body, result))
-                    return
-            # Request shipping: the tail holds the committed latest value.
-            runtime.stats.reads_shipped += 1
-            shipped = KVRequest("get", body.key, None, tail_id,
-                                body.ring_version, len(chain) - 1, body.tenant,
-                                trace=body.trace)
-            self.rpc.forward(tail_vnode.jbof_address, request, shipped,
-                             shipped.wire_bytes())
-            yield self.sim.timeout(0)
-            return
-        result = yield from self._execute(runtime, body)
-        runtime.stats.reads_served += 1
-        self._respond(request, self._reply_for(runtime, body, result))
-
-    def _serve_write(self, runtime: VNodeRuntime, request: RpcRequest,
-                     body: KVRequest, chain: List[str]):
-        is_tail = body.hop == len(chain) - 1
-        if not is_tail:
-            runtime.mark_dirty(body.key)
-            runtime.applied_version[body.key] = \
-                runtime.applied_version.get(body.key, 0) + 1
-            result = yield from self._execute(runtime, body)
-            if not result.ok and result.status != "not_found":
-                # Local failure (e.g. store full): surface immediately.
-                runtime.clear_dirty(body.key)
-                self._respond(request, self._reply_for(runtime, body, result))
-                return
-            runtime.stats.writes_forwarded += 1
-            next_id = chain[body.hop + 1]
-            next_vnode = self.local_ring.vnodes.get(next_id)
-            if next_vnode is None:
-                runtime.clear_dirty(body.key)
-                self._respond(request, KVReply(
-                    STATUS_NACK, ring_version=self.local_ring.version))
-                return
-            yield from self._net_core().execute(
-                CYCLE_COSTS["replication_forward"])
-            forwarded = KVRequest(body.op, body.key, body.value, next_id,
-                                  body.ring_version, body.hop + 1, body.tenant,
-                                  trace=body.trace)
-            self.rpc.forward(next_vnode.jbof_address, request, forwarded,
-                             forwarded.wire_bytes())
-            return
-        # Tail: commitment point.
-        version = runtime.applied_version.get(body.key, 0) + 1
-        runtime.applied_version[body.key] = version
-        runtime.committed_version[body.key] = version
-        result = yield from self._execute(runtime, body)
-        runtime.stats.writes_committed += 1
-        self._respond(request, self._reply_for(runtime, body, result))
-        # Backward ack cascade clears dirty bits.
-        if len(chain) > 1:
-            self._send_ack(chain, len(chain) - 2, body.key)
-        # Mirror committed writes of ranges being migrated (§3.8.1:
-        # "incoming PUTs ... might be forwarded to the new virtual
-        # node depending on if their keys are copied").
-        if result.ok and body.op == "put":
-            self._mirror_write(runtime.vnode_id, body.key, body.value)
-
-    def _send_ack(self, chain: List[str], index: int, key: bytes) -> None:
-        if index < 0:
-            return
-        vnode = self.local_ring.vnodes.get(chain[index])
-        if vnode is None:
-            return
-        ack = ChainAck(key=key, vnode_id=chain[index], chain=list(chain),
-                       index=index)
-        self.rpc.notify(vnode.jbof_address, "chain_ack", ack, ack.wire_bytes())
-
-    def _handle_version_query(self, src: str, body: dict):
-        """CRAQ-style: report the committed version of a key (tail)."""
-        yield from self._net_core().execute(CYCLE_COSTS["dirty_map_op"])
-        runtime = self.vnodes.get(body["vnode"])
-        committed = 0
-        if runtime is not None:
-            committed = runtime.committed_version.get(body["key"], 0)
-        return committed, VERSION_QUERY_BYTES
-
-    def _handle_chain_ack(self, src: str, ack: ChainAck):
-        yield from self._net_core().execute(CYCLE_COSTS["dirty_map_op"])
-        runtime = self.vnodes.get(ack.vnode_id)
-        if runtime is not None:
-            runtime.clear_dirty(ack.key)
-        self._send_ack(ack.chain, ack.index - 1, ack.key)
-        return None
+    # The chain write/read/ack paths that used to live here
+    # (_serve_write/_serve_get/_send_ack/_handle_chain_ack/
+    # _handle_version_query) moved verbatim into
+    # repro.core.replication.chain.ChainReplication.
 
     def _execute(self, runtime: VNodeRuntime, body: KVRequest):
         """Generator: run the command through the partition engine."""
@@ -722,6 +666,7 @@ class JBOFNode:
         """Install a new ring snapshot and vnode states."""
         if update.ring_version < self.local_ring.version:
             return
+        previous = set(self.local_ring.vnodes)
         vnodes = [VNode(vid, addr) for vid, addr in update.vnodes]
         self.local_ring = HashRing(vnodes, update.replication,
                                    update.ring_version)
@@ -729,6 +674,11 @@ class JBOFNode:
             runtime = self.vnodes.get(vnode_id)
             if runtime is not None:
                 runtime.state = state
+        # Synchronous policy notifications (no events: this also runs
+        # at bootstrap, before the simulation starts).
+        for vnode_id in sorted(previous - set(self.local_ring.vnodes)):
+            self.policy.on_peer_failure(vnode_id)
+        self.policy.on_membership_change(update)
 
     def _heartbeat_loop(self):
         while True:
@@ -770,9 +720,63 @@ class JBOFNode:
         self.network.partition(self.address)
 
     def recover(self) -> None:
-        """Rejoin the network after a crash (fail-stop heal)."""
+        """Rejoin the network after a crash (fail-stop heal).
+
+        If the WAL holds write intents whose acknowledgment never
+        arrived before the crash, a replay process re-establishes them
+        through the replication policy (after refreshing the ring view
+        from the control plane) — see :meth:`_wal_replay`.  With an
+        empty journal no process is spawned, so the schedule of runs
+        without unacknowledged writes is untouched.
+        """
         self.alive = True
         self.network.heal(self.address)
+        self.wal_recovery = None
+        if not self.options.wal_enabled:
+            return
+        pending = sum(len(self.vnodes[vnode_id].wal)
+                      for vnode_id in sorted(self.vnodes))
+        if pending == 0:
+            return
+        self.wal_recovery = {"pending": pending, "replayed": 0,
+                             "skipped": 0, "failed": 0,
+                             "started_at_us": self.sim.now,
+                             "completed_at_us": None}
+        self.sim.process(self._wal_replay(),
+                         name=self.address + ".wal-replay")
+
+    def _wal_replay(self):
+        """Replay unacknowledged WAL intents through the policy.
+
+        The ring view is refreshed first (the crash may have outlasted
+        the failure detector, reassigning this node's ranges), then
+        every journaled record is handed to
+        :meth:`ReplicationPolicy.replay` in vnode/LSN order.  Records
+        the policy re-proposes count as ``replayed``; records already
+        durable in the cluster count as ``skipped``; records whose
+        replay raised stay journaled and count as ``failed``.
+        """
+        report = self.wal_recovery
+        if self.control_plane_address is not None:
+            try:
+                update = yield self.rpc.call(
+                    self.control_plane_address, "get_ring", None, 16,
+                    timeout_us=1_000_000.0)
+            except Exception:
+                update = None
+            if update is not None:
+                self.apply_membership(update)
+        for vnode_id in sorted(self.vnodes):
+            runtime = self.vnodes[vnode_id]
+            for record in runtime.wal.unacknowledged():
+                try:
+                    replayed = yield from self.policy.replay(runtime, record)
+                except Exception:
+                    report["failed"] += 1
+                    continue
+                runtime.wal.mark_replayed(record.lsn, skipped=not replayed)
+                report["replayed" if replayed else "skipped"] += 1
+        report["completed_at_us"] = self.sim.now
 
     # -- reporting ----------------------------------------------------------------------------
 

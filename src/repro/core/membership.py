@@ -75,11 +75,13 @@ class ControlPlane:
     def __init__(self, sim: Simulator, network: Network,
                  address: str = "controlplane", replication: int = 3,
                  heartbeat_timeout_us: float = 200_000.0,
-                 push_delay_jitter_us: float = 2_000.0):
+                 push_delay_jitter_us: float = 2_000.0,
+                 replication_protocol: str = "chain"):
         self.sim = sim
         self.network = network
         self.address = address
         self.replication = replication
+        self.replication_protocol = replication_protocol
         self.heartbeat_timeout_us = heartbeat_timeout_us
         self.push_delay_jitter_us = push_delay_jitter_us
         network.attach(address, sim=sim)
@@ -138,7 +140,8 @@ class ControlPlane:
             vnodes=[(v.vnode_id, v.jbof_address)
                     for v in ring.vnodes.values()],
             states=[(i.vnode_id, i.state) for i in self.vnodes.values()],
-            replication=self.replication)
+            replication=self.replication,
+            replication_protocol=self.replication_protocol)
 
     def _update_payload(self) -> MembershipUpdate:
         """Deprecated private alias of :meth:`membership_snapshot`.

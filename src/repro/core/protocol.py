@@ -132,6 +132,52 @@ class CopyBatch:
 
 
 @dataclass
+class AbdQuery:
+    """ABD phase-1 query: read a key's logical timestamp at one vnode.
+
+    With ``want_value`` set (read path) the replica also returns its
+    stored value, so one round trip yields the ``(stamp, value)`` pair
+    the read quorum compares.
+    """
+
+    vnode_id: str
+    key: bytes
+    want_value: bool = False
+
+    def wire_bytes(self) -> int:
+        return 16 + len(self.key)
+
+
+@dataclass
+class AbdVote:
+    """One replica's answer to an :class:`AbdQuery`."""
+
+    vnode_id: str
+    key: bytes
+    stamp: Tuple[int, str] = (0, "")
+    value: Optional[bytes] = None
+    status: str = STATUS_OK
+
+    def wire_bytes(self) -> int:
+        return 24 + len(self.key) + (len(self.value) if self.value else 0)
+
+
+@dataclass
+class AbdCommit:
+    """ABD phase-2 commit (and read-repair write-back): apply ``value``
+    at ``stamp`` unless the replica already holds a newer stamp."""
+
+    vnode_id: str
+    op: str                      # "put" | "del"
+    key: bytes
+    value: Optional[bytes] = None
+    stamp: Tuple[int, str] = (0, "")
+
+    def wire_bytes(self) -> int:
+        return 24 + len(self.key) + (len(self.value) if self.value else 0)
+
+
+@dataclass
 class Heartbeat:
     """Periodic liveness beacon from a JBOF to the control plane."""
 
@@ -150,6 +196,10 @@ class MembershipUpdate:
     vnodes: List[Tuple[str, str]]        # (vnode_id, jbof_address)
     states: List[Tuple[str, str]]        # (vnode_id, state)
     replication: int = 3
+    #: Cluster-wide replication protocol name.  Packed into the
+    #: existing fixed header (a one-byte tag on the wire), so the
+    #: modeled footprint below is unchanged.
+    replication_protocol: str = "chain"
 
     def wire_bytes(self) -> int:
         return 16 + 48 * len(self.vnodes)

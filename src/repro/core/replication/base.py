@@ -1,0 +1,196 @@
+"""The pluggable replication-policy interface.
+
+A :class:`ReplicationPolicy` owns everything about how one node's
+writes reach its peers and how reads find a consistent value: the
+write fan-out, the acknowledgment flow, dirty-read resolution, and
+the WAL-replay step that runs when a crashed node recovers.  The
+node (:class:`repro.core.jbof.JBOFNode`) keeps the protocol-neutral
+machinery — view validation, engine execution, COPY migration — and
+delegates every replication decision to its policy object.
+
+Policies are registered by name (``"chain"``, ``"craq"``, ``"abd"``)
+and selected through ``ClusterConfig(replication_protocol=...)``.
+Adding a protocol is a drop-in: subclass :class:`ReplicationPolicy`,
+implement the hooks, and call :func:`register_protocol` — no node or
+cluster changes needed.
+
+Digest discipline: constructing a policy and registering its RPC
+handlers creates no simulation events, so protocol selection never
+perturbs the schedule of runs that don't exercise the new paths.
+"""
+
+from __future__ import annotations
+
+import enum
+import warnings
+from typing import Dict, List, Optional
+
+
+class DirtyReadMode(str, enum.Enum):
+    """How a non-tail chain replica resolves a read of a dirty key.
+
+    * ``SHIP`` — forward the whole request envelope to the tail,
+      LEED's CRRS request shipping (§3.7);
+    * ``CRAQ`` — send a small version query to the tail and serve
+      locally when this replica already holds the committed version
+      (the alternative the paper rejected for its internal traffic).
+
+    The enum subclasses :class:`str`, so ``DirtyReadMode.SHIP ==
+    "ship"`` holds and existing string comparisons keep working.
+    Passing bare strings where a mode is expected is **deprecated**:
+    they are still coerced by :meth:`coerce` (with a
+    ``DeprecationWarning``), but new code should pass the members.
+    """
+
+    SHIP = "ship"
+    CRAQ = "craq"
+
+    @classmethod
+    def coerce(cls, value: Optional[object]) -> Optional["DirtyReadMode"]:
+        """Normalize a mode argument.
+
+        ``None`` passes through (callers apply their own default);
+        members pass through; strings are coerced with a
+        ``DeprecationWarning`` (kept for one release).  Anything else
+        raises ``ValueError`` listing the valid modes.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        try:
+            member = cls(value)
+        except ValueError:
+            raise ValueError(
+                "invalid dirty-read mode %r; valid modes: %s"
+                % (value, ", ".join(mode.value for mode in cls)))
+        warnings.warn(
+            "passing a bare string for dirty_read_mode is deprecated; "
+            "use DirtyReadMode.%s" % member.name,
+            DeprecationWarning, stacklevel=3)
+        return member
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ReplicationPolicy:
+    """Base class for replication protocols.
+
+    One policy instance lives on each :class:`JBOFNode`; it reaches
+    the node's RPC endpoint, ring view, vnode runtimes, and engine
+    helpers through ``self.node``.  The read/write hooks are
+    simulation generators invoked from the node's KV dispatch —
+    ``yield from`` delegation, so a hook that performs the same
+    operations as the code it replaced produces the same event
+    schedule.
+
+    Hook contract (all receive the validated ``(runtime, request,
+    body, chain)`` of a KV command whose view check already passed):
+
+    * :meth:`on_client_write` — a write entering the protocol at this
+      replica (``hop == 0``); must eventually answer ``request``.
+    * :meth:`on_forward` — a write arriving from a peer replica
+      (``hop > 0``); chain protocols continue the chain here.
+    * :meth:`serve_read` — a GET addressed to this replica; must
+      answer ``request`` (possibly by forwarding the envelope).
+    * :meth:`on_ack` — the protocol's acknowledgment handler (chain's
+      backward ack; unused by quorum protocols).
+    * :meth:`on_membership_change` / :meth:`on_peer_failure` —
+      synchronous view-change notifications (no events allowed).
+    * :meth:`replay` — WAL recovery: re-establish one journaled write
+      in the current view, returning True (re-proposed) or False
+      (already durable / no longer placeable); raise to keep the
+      record journaled for a later attempt.
+    """
+
+    #: Registry key; subclasses override.
+    name = "abstract"
+
+    def __init__(self, node):
+        self.node = node
+
+    # -- wiring --------------------------------------------------------------
+
+    def register_handlers(self) -> None:
+        """Register this protocol's RPC methods on the node."""
+
+    def _wal(self, runtime):
+        """The runtime's WAL, or None when journaling is disabled."""
+        if not getattr(self.node.options, "wal_enabled", True):
+            return None
+        return getattr(runtime, "wal", None)
+
+    # -- datapath hooks ------------------------------------------------------
+
+    def on_client_write(self, runtime, request, body, chain):
+        raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+    def on_forward(self, runtime, request, body, chain):
+        raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+    def serve_read(self, runtime, request, body, chain):
+        raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+    def on_ack(self, src: str, ack):
+        raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+    def fast_read_local(self, runtime, body, chain) -> bool:
+        """Whether the fast datapath may serve this GET locally,
+        callback-style, without entering :meth:`serve_read`.  Only
+        protocols whose local read is linearizable for the given
+        (replica, key) state may return True."""
+        return False
+
+    # -- control-plane hooks -------------------------------------------------
+
+    def on_membership_change(self, update) -> None:
+        """A new ring view was installed.  Synchronous; no events."""
+
+    def on_peer_failure(self, vnode_id: str) -> None:
+        """A vnode left the ring (crash or leave).  Synchronous."""
+
+    # -- recovery ------------------------------------------------------------
+
+    def replay(self, runtime, record):
+        """Generator: re-establish one WAL record in the current view."""
+        raise NotImplementedError
+        yield  # pragma: no cover - generator marker
+
+    def committed_stamp(self, runtime, key: bytes):
+        """The protocol's committed ordering stamp for ``key`` at this
+        replica (chain version int, ABD timestamp tuple).  Conformance
+        tests use this to check per-key monotonicity."""
+        return 0
+
+    def __repr__(self):
+        return "<%s on %s>" % (type(self).__name__, self.node.address)
+
+
+#: name -> policy class.  Populated by register_protocol at import
+#: time; repro.core.replication registers the built-in protocols.
+_REGISTRY: Dict[str, type] = {}
+
+
+def register_protocol(cls: type) -> type:
+    """Register a policy class under ``cls.name`` (decorator-friendly)."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def protocol_names() -> List[str]:
+    """Registered protocol names, sorted for stable error messages."""
+    return sorted(_REGISTRY)
+
+
+def make_policy(name: str, node) -> ReplicationPolicy:
+    """Instantiate the protocol registered under ``name`` for ``node``."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            "unknown replication protocol %r; registered protocols: %s"
+            % (name, ", ".join(protocol_names())))
+    return cls(node)
