@@ -67,6 +67,13 @@ class AbdQuorum(ReplicationPolicy):
         super().__init__(node)
         #: vnode_id -> key -> (n, writer) stamp of the applied value.
         self._stamps: Dict[str, Dict[bytes, Tuple[int, str]]] = {}
+        #: Monotonic per-coordinator op sequence, folded into the
+        #: stamp's writer component: two writes to the same key that
+        #: interleave their query phases at one coordinator would
+        #: otherwise mint identical ``(max_n + 1, address)`` stamps,
+        #: and replicas would silently drop the equal-stamp loser
+        #: while both clients saw OK.
+        self._op_seq = 0
 
     def register_handlers(self) -> None:
         rpc = self.node.rpc
@@ -74,6 +81,17 @@ class AbdQuorum(ReplicationPolicy):
         rpc.register("abd_commit", self._handle_abd_commit)
 
     # -- stamp bookkeeping ---------------------------------------------------
+
+    def _next_writer(self) -> str:
+        """Unique writer component for a fresh stamp.
+
+        The zero-padded sequence keeps the writer string's lexical
+        order equal to coordination order at this node, so same-``n``
+        ties between ops of one coordinator resolve to the later op
+        — and no two ops anywhere share a stamp.
+        """
+        self._op_seq += 1
+        return "%s#%012d" % (self.node.address, self._op_seq)
 
     def stamp_of(self, vnode_id: str, key: bytes) -> Tuple[int, str]:
         return self._stamps.get(vnode_id, {}).get(key, ZERO_STAMP)
@@ -100,7 +118,7 @@ class AbdQuorum(ReplicationPolicy):
 
     # -- quorum gather -------------------------------------------------------
 
-    def _gather(self, calls, need: int):
+    def _gather(self, calls, need: int, usable=None):
         """Generator: wait until ``need`` of ``calls`` succeed (or all
         settle), returning the successful response bodies.
 
@@ -109,20 +127,29 @@ class AbdQuorum(ReplicationPolicy):
         defused so a dead replica costs nothing beyond its absence.
         Late responses after the waiter fires still land in
         ``results`` harmlessly — the caller has already moved on.
+
+        ``usable`` filters which responses count toward ``need``: a
+        JOINING replica answers fast with an UNAVAILABLE vote, and if
+        those counted, the waiter could fire before slower healthy
+        replicas report — rejecting an op a real quorum would accept.
+        Unusable responses are still appended to ``results`` so
+        callers can keep their own filtering.
         """
         results: list = []
         if not calls:
             return results
         waiter = self.node.sim.event()
-        state = {"outstanding": len(calls)}
+        state = {"outstanding": len(calls), "good": 0}
 
         def settle(event) -> None:
             state["outstanding"] -= 1
             if event._ok:
                 results.append(event._value)
+                if usable is None or usable(event._value):
+                    state["good"] += 1
             else:
                 event.defuse()
-            if not waiter.triggered and (len(results) >= need
+            if not waiter.triggered and (state["good"] >= need
                                          or state["outstanding"] == 0):
                 waiter.succeed(None)
 
@@ -158,7 +185,9 @@ class AbdQuorum(ReplicationPolicy):
             calls.append(node.rpc.call(
                 address, "abd_query", query, query.wire_bytes(),
                 timeout_us=self.quorum_timeout_us))
-        votes = yield from self._gather(calls, majority - 1)
+        votes = yield from self._gather(
+            calls, majority - 1,
+            usable=lambda v: v.status != STATUS_UNAVAILABLE)
         votes = [v for v in votes if v.status != STATUS_UNAVAILABLE]
         if len(votes) < majority - 1:
             node._respond(request, KVReply(
@@ -167,7 +196,7 @@ class AbdQuorum(ReplicationPolicy):
         max_n = self.stamp_of(runtime.vnode_id, body.key)[0]
         for vote in votes:
             max_n = max(max_n, vote.stamp[0])
-        stamp = (max_n + 1, node.address)
+        stamp = (max_n + 1, self._next_writer())
         # Journal the intent before touching any replica: a crash
         # between the phases leaves the record for recovery replay.
         wal = self._wal(runtime)
@@ -214,7 +243,8 @@ class AbdQuorum(ReplicationPolicy):
             calls.append(node.rpc.call(
                 address, "abd_commit", commit, commit.wire_bytes(),
                 timeout_us=self.quorum_timeout_us))
-        acks = yield from self._gather(calls, need)
+        acks = yield from self._gather(calls, need,
+                                       usable=lambda a: a == STATUS_OK)
         acks = [a for a in acks if a == STATUS_OK]
         return len(acks) >= need
 
@@ -238,7 +268,9 @@ class AbdQuorum(ReplicationPolicy):
                 timeout_us=self.quorum_timeout_us))
         # Local read overlaps the quorum round trip.
         result = yield from node._execute(runtime, body)
-        votes = yield from self._gather(calls, majority - 1)
+        votes = yield from self._gather(
+            calls, majority - 1,
+            usable=lambda v: v.status != STATUS_UNAVAILABLE)
         votes = [v for v in votes if v.status != STATUS_UNAVAILABLE]
         if len(votes) < majority - 1:
             node._respond(request, KVReply(
@@ -254,10 +286,14 @@ class AbdQuorum(ReplicationPolicy):
                 best_stamp, best_value = vote.stamp, vote.value
         # Read repair: bring stale responders (and ourselves) up to
         # the winning stamp before answering, so the read is atomic.
-        if best_stamp > ZERO_STAMP and best_value is not None:
+        # A winning vote with no value is a delete — repaired as a
+        # "del" so stale replicas cannot resurrect the dead value at
+        # a later quorum that misses the deleter's replica.
+        if best_stamp > ZERO_STAMP:
+            repair_op = "put" if best_value is not None else "del"
             repaired = False
             if best_stamp > local_stamp:
-                repair = KVRequest("put", body.key, best_value,
+                repair = KVRequest(repair_op, body.key, best_value,
                                    runtime.vnode_id, tenant="__abd__")
                 yield from node._execute(runtime, repair)
                 self._set_stamp(runtime.vnode_id, body.key, best_stamp)
@@ -268,7 +304,7 @@ class AbdQuorum(ReplicationPolicy):
                 vnode = node.local_ring.vnodes.get(vote.vnode_id)
                 if vnode is None:
                     continue
-                commit = AbdCommit(vote.vnode_id, "put", body.key,
+                commit = AbdCommit(vote.vnode_id, repair_op, body.key,
                                    best_value, best_stamp)
                 runtime.stats.quorum_bytes += commit.wire_bytes()
                 node.rpc.notify(vnode.jbof_address, "abd_commit", commit,
@@ -303,7 +339,17 @@ class AbdQuorum(ReplicationPolicy):
         if query.want_value:
             probe = KVRequest("get", query.key, vnode_id=query.vnode_id,
                               tenant="__abd__")
-            result = yield from node._execute(runtime, probe)
+            # The value probe yields, so a concurrent abd_commit can
+            # land mid-read and leave the vote pairing the new value
+            # with the stamp read above.  Re-read the stamp after the
+            # probe and re-probe until the pair is consistent (one
+            # extra round suffices unless commits keep racing).
+            for _ in range(3):
+                result = yield from node._execute(runtime, probe)
+                after = self.stamp_of(query.vnode_id, query.key)
+                if after == stamp:
+                    break
+                stamp = after
             value = result.value
             if not result.ok:
                 status = (STATUS_NOT_FOUND
@@ -320,6 +366,10 @@ class AbdQuorum(ReplicationPolicy):
         if runtime is None or runtime.state == JOINING or not node.alive:
             return STATUS_UNAVAILABLE, 16
         current = self.stamp_of(commit.vnode_id, commit.key)
+        # Stamps are unique per op (coordinator sequence in the writer
+        # component), so an equal stamp is a re-delivery of the write
+        # already applied here — idempotent OK, not a silent drop of a
+        # different value.
         if commit.stamp > current:
             body = KVRequest(commit.op, commit.key, commit.value,
                              commit.vnode_id, tenant="__abd__")
@@ -355,7 +405,9 @@ class AbdQuorum(ReplicationPolicy):
             calls.append(node.rpc.call(
                 address, "abd_query", query, query.wire_bytes(),
                 timeout_us=self.quorum_timeout_us))
-        votes = yield from self._gather(calls, majority - local_votes)
+        votes = yield from self._gather(
+            calls, majority - local_votes,
+            usable=lambda v: v.status != STATUS_UNAVAILABLE)
         votes = [v for v in votes if v.status != STATUS_UNAVAILABLE]
         if len(votes) + local_votes < majority:
             raise RuntimeError(

@@ -66,14 +66,19 @@ class ChainReplication(ReplicationPolicy):
             runtime.mark_dirty(body.key)
             version = runtime.applied_version.get(body.key, 0) + 1
             runtime.applied_version[body.key] = version
+            record = None
             if wal is not None:
-                wal.append(body.op, body.key, body.value, version)
+                record = wal.append(body.op, body.key, body.value, version)
             result = yield from node._execute(runtime, body)
             if not result.ok and result.status != STATUS_NOT_FOUND:
                 # Local failure (e.g. store full): surface immediately.
+                # Retire by lsn — wal.ack(key) pops the FIFO-oldest
+                # intent for the key, which with an earlier in-flight
+                # write still awaiting its backward ack would retire
+                # that write's record instead of this one's.
                 runtime.clear_dirty(body.key)
-                if wal is not None:
-                    wal.ack(body.key)
+                if record is not None:
+                    wal.ack_record(record.lsn)
                 node._respond(request,
                               node._reply_for(runtime, body, result))
                 return
@@ -82,8 +87,8 @@ class ChainReplication(ReplicationPolicy):
             next_vnode = node.local_ring.vnodes.get(next_id)
             if next_vnode is None:
                 runtime.clear_dirty(body.key)
-                if wal is not None:
-                    wal.ack(body.key)
+                if record is not None:
+                    wal.ack_record(record.lsn)
                 node._respond(request, KVReply(
                     STATUS_NACK, ring_version=node.local_ring.version))
                 return
