@@ -1,84 +1,55 @@
 #!/usr/bin/env python3
 """Failure handling demo: crash a JBOF mid-workload and keep serving.
 
-A 3-JBOF LEED cluster (R=2) loads data, then one JBOF fail-stops
-while clients keep issuing requests.  The control plane detects the
-missed heartbeats, removes the dead node's virtual nodes from the
-ring, and re-replicates their ranges from the surviving chain tails
-with the COPY primitive (§3.8).  The demo verifies every key remains
-readable afterwards and prints the membership-event timeline.
+A thin wrapper over the production-scenario library
+(:mod:`repro.scenarios`).  The episode — fail-stop crash, heartbeat
+detection, COPY re-replication from surviving chain tails (§3.8), and
+the eventual rejoin — is a declarative :class:`Scenario`; the
+availability and lost-acked-write accounting come from the library's
+shared :class:`WriteLedger` instead of demo-local bookkeeping.
 
 Run:  python examples/failover_demo.py
 """
 
-from repro import ClusterConfig, LeedCluster, LeedOptions, StoreConfig
+from repro.scenarios import Phase, Scenario, inject, run_scenario
 
-NUM_KEYS = 120
+
+def build() -> Scenario:
+    """Crash JBOF 1 under write-heavy load, then bring it back."""
+    return Scenario(
+        name="failover_demo",
+        description="Fail-stop crash, detection, re-replication, rejoin",
+        workload="A",
+        phases=(
+            Phase("warm", 0.5),
+            Phase("crash_and_recover", 1.5, injections=(
+                inject(0.15, "crash", index=1),
+                inject(0.70, "rejoin", index=1))),
+            Phase("steady_state", 0.5),
+        ))
 
 
 def main():
-    cluster = LeedCluster(ClusterConfig(
-        num_jbofs=3, ssds_per_jbof=2, num_clients=1, replication=2,
-        store=StoreConfig(num_segments=64, key_log_bytes=1 << 20,
-                          value_log_bytes=4 << 20),
-        options=LeedOptions(heartbeat_period_us=2_000.0),
-        heartbeat_timeout_us=15_000.0,
-    ))
-    cluster.start()
-    sim = cluster.sim
-    client = cluster.clients[0]
+    record = run_scenario(scenario=build())
+    totals, invariants = record["totals"], record["invariants"]
+    print("availability under churn: %.4f (p99 %.1f us)"
+          % (totals["availability"], totals["p99_us"]))
+    for event in record["recovery"]["failover"]:
+        print("failover of %s: detected t=%.1f ms, re-replicated in %.1f ms"
+              % (event["address"], event["detected_at_us"] / 1e3,
+                 event["recovery_us"] / 1e3))
+    print("lost acked writes: %d (checked %d acked keys)"
+          % (invariants["lost_acked_writes"],
+             invariants["acked_keys_checked"]))
+    assert invariants["lost_acked_writes"] == 0, "data loss!"
 
-    def load():
-        for index in range(NUM_KEYS):
-            result = yield from client.put(b"key-%04d" % index,
-                                           b"value-%04d" % index)
-            assert result.ok
-        yield sim.timeout(2_000)
-
-    sim.run(until=sim.process(load(), name="load"))
-    print("loaded %d keys across %d virtual nodes"
-          % (NUM_KEYS, len(cluster.control_plane.vnodes)))
-
-    victim = cluster.jbofs[1]
-    print("crashing %s (fail-stop: heartbeats cease, traffic drops)"
-          % victim.address)
-    victim.crash()
-
-    def survive():
-        # Keep reading during detection + recovery; some reads retry
-        # while views are inconsistent, none may return wrong data.
-        hiccups = 0
-        for round_index in range(30):
-            index = round_index % NUM_KEYS
-            result = yield from client.get(b"key-%04d" % index)
-            if result.status == "ok":
-                assert result.value == b"value-%04d" % index
-            else:
-                hiccups += 1
-            yield sim.timeout(10_000)
-        return hiccups
-
-    hiccups = sim.run(until=sim.process(survive(), name="survive"))
-    print("served reads during recovery (%d transient hiccups)" % hiccups)
-
-    def verify():
-        missing = 0
-        for index in range(NUM_KEYS):
-            result = yield from client.get(b"key-%04d" % index)
-            if result.status != "ok":
-                missing += 1
-        return missing
-
-    missing = sim.run(until=sim.process(verify(), name="verify"))
-    print("post-recovery sweep: %d/%d keys readable"
-          % (NUM_KEYS - missing, NUM_KEYS))
-    assert missing == 0, "data loss!"
-
-    print("\nmembership events:")
-    for when, kind, who in cluster.control_plane.membership_events:
-        print("  t=%8.1f ms  %-10s %s" % (when / 1e3, kind, who))
-    ring = cluster.control_plane.master_ring()
-    print("final ring: %d vnodes (version %d)" % (len(ring), ring.version))
+    print("\nscenario timeline:")
+    for note in record["events"]:
+        detail = {k: v for k, v in note.items() if k not in ("t_us", "event")}
+        print("  t=%8.1f ms  %-18s %s" % (note["t_us"] / 1e3, note["event"],
+                                          detail or ""))
+    print("final ring version: %d" % invariants["ring_version"])
+    return record
 
 
 if __name__ == "__main__":

@@ -1,55 +1,37 @@
 #!/usr/bin/env python3
-"""Hot-key mitigation: CRRS request shipping + token-aware reads.
+"""Hot-key mitigation: CRRS request shipping under a hot-key storm.
 
-A skewed read workload (Zipf 0.99) hammers a few hot keys.  With
-plain chain replication every read of a key lands on its chain tail;
-with CRRS (§3.7) any *clean* replica may serve it and the front-end
-picks the replica advertising the most tokens — spreading the hot
-keys over 3x the hardware.  The demo runs both modes on identical
-clusters and prints the throughput/latency gap plus how unevenly the
-per-vnode read counts were distributed.
+A thin wrapper over the production-scenario library
+(:mod:`repro.scenarios`): the catalog's ``hot_key_storm`` — a
+write-heavy workload whose Zipf skew deepens mid-run — runs twice on
+identical clusters, once with plain chain replication (every dirty
+read ships to the chain tail and stays there) and once with CRRS
+(§3.7: any *clean* replica serves, token-aware selection spreads the
+celebrity keys across the chain).
 
 Run:  python examples/hot_key_mitigation.py
 """
 
-import statistics
-
-from repro.bench.harness import build_cluster, load_cluster, run_closed_loop
-from repro.workloads.ycsb import YCSBWorkload
-
-NUM_RECORDS = 600
-NUM_OPS = 2000
-SKEW = 0.99
-
-
-def spread(counts):
-    """Coefficient of variation of per-vnode read counts."""
-    live = [c for c in counts if c]
-    if len(live) < 2:
-        return float("inf")
-    return statistics.pstdev(counts) / max(statistics.mean(counts), 1e-9)
+from repro.scenarios import run_scenario
 
 
 def main():
-    print("YCSB-C, Zipf %.2f, %d reads over %d records\n"
-          % (SKEW, NUM_OPS, NUM_RECORDS))
-    print("%-22s %10s %10s %10s %12s" % ("mode", "KQPS", "avg us",
-                                         "p99.9 us", "read spread"))
+    print("hot_key_storm scenario, plain chain vs CRRS\n")
+    print("%-22s %10s %10s %10s %8s" % ("mode", "storm KQPS", "p50 us",
+                                        "p99 us", "avail"))
+    records = {}
     for crrs in (False, True):
-        workload = YCSBWorkload("C", NUM_RECORDS, value_size=1024,
-                                skew=SKEW, seed=7)
-        cluster = build_cluster("leed", crrs=crrs, seed=7)
-        load_cluster(cluster, workload)
-        stats = run_closed_loop(cluster, workload, NUM_OPS, concurrency=96)
-        reads = [rt.stats.reads_served
-                 for node in cluster.jbofs
-                 for rt in node.vnodes.values()]
+        record = run_scenario("hot_key_storm", crrs=crrs)
+        assert record["invariants"]["lost_acked_writes"] == 0
+        storm = next(p for p in record["phases"] if p["name"] == "storm")
         label = "CRRS (ship + tokens)" if crrs else "plain chain (tail)"
-        print("%-22s %10.1f %10.1f %10.1f %12.2f"
-              % (label, stats.throughput_qps / 1e3,
-                 stats.mean_latency_us(), stats.percentile_us(0.999),
-                 spread(reads)))
-    print("\nlower spread = hot keys' reads shared across replicas")
+        print("%-22s %10.1f %10.1f %10.1f %8.4f"
+              % (label, storm["throughput_qps"] / 1e3, storm["p50_us"],
+                 storm["p99_us"], record["totals"]["availability"]))
+        records[crrs] = record
+    print("\nCRRS spreads a hot key's reads over every clean replica "
+          "instead of its tail")
+    return records
 
 
 if __name__ == "__main__":

@@ -1,84 +1,63 @@
 #!/usr/bin/env python3
 """Power-failure recovery: rebuild a LEED store from its flash logs.
 
-A SmartNIC JBOF has a standalone power supply; when it browns out,
-the SegTbl (which lives in SoC DRAM) is gone, but the circular key
-and value logs on the NVMe drives survive.  Each bucket carries a
-key-log tail snapshot (§3.2.3 "head/tail fields, used for recovery"),
-so a single sequential scan of the key-log region finds the newest
-version of every segment and rebuilds the index.
-
-This demo writes and churns a store, simulates the power failure by
-constructing a brand-new store object over the same device, runs
-recovery, and verifies the data — then keeps writing.
+A thin wrapper over the production-scenario library
+(:mod:`repro.scenarios`).  A JBOF loses power mid-workload for less
+than the heartbeat timeout, so the failure detector never fires: on
+restore, the node rebuilds every SegTbl with one sequential key-log
+scan (§3.2.3 "head/tail fields, used for recovery") and replays the
+capacitor-backed WAL's outstanding intents through the live chain —
+and the ledger proves no acknowledged write was lost.
 
 Run:  python examples/power_failure_recovery.py
 """
 
-import random
+from repro.scenarios import Phase, Scenario, inject, run_scenario
 
-from repro import StoreConfig, recover_store
-from repro.core.datastore import LeedDataStore
-from repro.hw.ssd import NVMeSSD, SSDProfile
-from repro.sim.core import Simulator
-from repro.sim.rng import RngRegistry
+#: Must stay below the scenario scale's heartbeat timeout so the
+#: outage exercises the *undetected* power-loss path (scan + WAL
+#: replay), not failover re-replication.
+OUTAGE_US = 6_000.0
 
-CONFIG = StoreConfig(num_segments=64, key_log_bytes=1 << 20,
-                     value_log_bytes=4 << 20)
+
+def build() -> Scenario:
+    return Scenario(
+        name="power_failure_demo",
+        description="Short power blackout: flash scan + WAL replay",
+        workload="A",
+        phases=(
+            Phase("churn", 1.0),
+            Phase("blackout", 1.0, injections=(
+                inject(0.25, "power_blackout", index=2,
+                       outage_us=OUTAGE_US),)),
+            Phase("after", 0.5),
+        ))
 
 
 def main():
-    sim = Simulator()
-    ssd = NVMeSSD(sim, SSDProfile(capacity_bytes=32 << 20, block_size=512),
-                  rng=RngRegistry(1))
-    store = LeedDataStore(sim, ssd, CONFIG, name="victim")
-    rng = random.Random(2)
-    shadow = {}
-
-    def churn():
-        for step in range(400):
-            key = b"item-%03d" % rng.randrange(80)
-            if rng.random() < 0.7:
-                value = b"rev-%04d" % step
-                result = yield from store.put(key, value)
-                assert result.ok
-                shadow[key] = value
-            else:
-                result = yield from store.delete(key)
-                if result.ok:
-                    del shadow[key]
-
-    sim.run(until=sim.process(churn(), name="churn"))
-    print("before crash: %d live objects, key log %.0f%% full"
-          % (store.live_objects, 100 * store.key_log.fill_fraction()))
-
-    # --- power failure: all DRAM state is lost -------------------------
-    reborn = LeedDataStore(sim, ssd, CONFIG, name="reborn")
-    assert reborn.live_objects == 0
-
-    def recover():
-        report = yield from recover_store(reborn)
-        return report
-
-    report = sim.run(until=sim.process(recover(), name="recover"))
-    print("recovery: scanned %d blocks in %.1f ms -> %d segments, "
-          "%d objects (%d stale versions skipped)"
-          % (report.blocks_scanned, report.duration_us / 1e3,
-             report.segments_recovered, report.live_objects,
-             report.stale_versions_skipped))
-
-    def verify():
-        for key, value in shadow.items():
-            got = yield from reborn.get(key)
-            assert got.ok and got.value == value, key
-        # And the store is immediately writable again.
-        result = yield from reborn.put(b"post-crash", b"alive")
-        assert result.ok
-        return len(shadow)
-
-    verified = sim.run(until=sim.process(verify(), name="verify"))
-    print("verified %d surviving objects byte-for-byte; store is "
-          "writable again" % verified)
+    record = run_scenario(scenario=build())
+    for blackout in record["recovery"]["power"]:
+        report = blackout["report"]
+        wal = report.get("wal") or {}
+        print("jbof%d lost power for %.0f us (below the %.0f us "
+              "heartbeat timeout: no failover)"
+              % (blackout["jbof"], blackout["outage_us"], 15_000.0))
+        print("flash scan: %d blocks in %.1f ms -> %d objects restored"
+              % (report["blocks_scanned"],
+                 report["scan_duration_us"] / 1e3,
+                 report["objects_recovered"]))
+        print("WAL replay: %s intents pending, %s re-proposed, "
+              "%s already durable"
+              % (wal.get("pending", 0), wal.get("replayed", 0),
+                 wal.get("skipped", 0)))
+    invariants = record["invariants"]
+    print("lost acked writes: %d (checked %d acked keys)"
+          % (invariants["lost_acked_writes"],
+             invariants["acked_keys_checked"]))
+    assert invariants["lost_acked_writes"] == 0, "data loss!"
+    print("availability through the outage: %.4f"
+          % record["totals"]["availability"])
+    return record
 
 
 if __name__ == "__main__":

@@ -337,6 +337,11 @@ class FrontEndClient:
         tokens into the flow controller and resolves ``waiter``.  The
         SEND is deferred into the coalescing buffer; callers flush.
         """
+        # Stamp the attempt's give-up deadline at send time — exactly
+        # when the RPC timeout clock starts — so replicas can refuse a
+        # copy that surfaces from a congested queue after this client
+        # stopped listening (zombie duplicate of a retried write).
+        body.deadline_us = self.sim.now + self.request_timeout_us
         event = self.rpc.call(vnode.jbof_address, "kv", body,
                               body.wire_bytes(),
                               timeout_us=self.request_timeout_us, defer=True)
@@ -361,6 +366,7 @@ class FrontEndClient:
 
     def _call(self, body: KVRequest, vnode: VNode, target: str,
               waiter: Event):
+        body.deadline_us = self.sim.now + self.request_timeout_us
         try:
             reply: KVReply = yield self.rpc.call(
                 vnode.jbof_address, "kv", body, body.wire_bytes(),

@@ -259,6 +259,140 @@ class LeedCluster:
     def __exit__(self, exc_type, exc, tb) -> None:
         self.shutdown()
 
+    # -- scenario hooks: fault injection & elasticity ---------------------------------
+    #
+    # These drive the production-scenario library (repro.scenarios).
+    # Fault injection models *physical environment* actions — a power
+    # cord pulled, a rack losing a node — so it necessarily touches
+    # node objects directly; that is only sound on the serial engine,
+    # where this process owns every node's live state.  The guard
+    # enforces it, and the simlint suppressions below each carry that
+    # justification.
+
+    def _injection_target(self, index: int) -> JBOFNode:
+        if self.config.workers > 0:
+            raise ValueError(
+                "scenario fault injection needs workers == 0: node state "
+                "lives in worker processes under the parallel engine")
+        return self.jbofs[index]
+
+    def crash_jbof(self, index: int) -> str:
+        """Fail-stop JBOF ``index`` (heartbeats cease, traffic drops).
+
+        Returns the crashed node's address.  The control plane's
+        failure monitor will detect the silence and re-replicate.
+        """
+        node = self._injection_target(index)
+        node.crash()  # simlint: ignore[SIM006, SIM008] -- physical fail-stop injection; serial engine enforced above
+        return node.address
+
+    def recover_jbof(self, index: int) -> str:
+        """Heal a fail-stopped JBOF (network rejoin + WAL replay)."""
+        node = self._injection_target(index)
+        node.recover()  # simlint: ignore[SIM006, SIM008] -- physical heal injection; serial engine enforced above
+        return node.address
+
+    def power_fail_jbof(self, index: int) -> str:
+        """Pull the power on JBOF ``index``: DRAM state is lost."""
+        node = self._injection_target(index)
+        node.power_fail()  # simlint: ignore[SIM006, SIM008] -- physical power-loss injection; serial engine enforced above
+        return node.address
+
+    def power_restore_jbof(self, index: int):
+        """Generator: restore power; flash scan rebuild + WAL replay.
+
+        Returns the node's recovery report (see
+        :meth:`JBOFNode.power_restore`).
+        """
+        node = self._injection_target(index)
+        report = yield from node.power_restore()  # simlint: ignore[SIM006, SIM008] -- physical power-restore injection; serial engine enforced above
+        # Power-on is control-plane-visible: stamp a fresh heartbeat so
+        # the monitor doesn't count the outage gap against the node
+        # before its first post-restore beat lands.
+        self.control_plane.mark_alive(node.address)
+        return report
+
+    def drain_jbof(self, index: int):
+        """Generator: gracefully leave every vnode on JBOF ``index``.
+
+        The control plane migrates each range away (voluntary-leave
+        COPY, §3.8.1); afterwards the node hosts no serving vnodes but
+        keeps its runtimes, so :meth:`rejoin_jbof` can bring them back.
+        """
+        node = self._injection_target(index)
+        for vnode_id in sorted(node.vnodes):
+            if vnode_id in self.control_plane.vnodes:
+                yield from self.control_plane.leave_vnode(vnode_id)
+
+    def rejoin_jbof(self, index: int):
+        """Generator: join every vnode on JBOF ``index`` back in."""
+        node = self._injection_target(index)
+        self.control_plane.mark_alive(node.address)
+        for vnode_id in sorted(node.vnodes):
+            yield from self.control_plane.join_vnode(vnode_id, node.address)
+
+    def rolling_upgrade(self, version: str, pause_us: float = 0.0):
+        """Generator: drain → replace → rejoin each JBOF in turn.
+
+        The canonical zero-downtime upgrade: every node is emptied by
+        voluntary leaves, its software replaced (fresh stores, new
+        ``software_version``), then re-joined so COPY repopulates it —
+        while the rest of the cluster keeps serving.  ``pause_us``
+        inserts a settle gap between nodes (staged rollout).
+        """
+        for index in range(len(self.jbofs)):
+            node = self._injection_target(index)
+            yield from self.drain_jbof(index)
+            node.upgrade(version)  # simlint: ignore[SIM006, SIM008] -- in-place binary replace on a drained node; serial engine enforced
+            yield from self.rejoin_jbof(index)
+            if pause_us > 0:
+                yield self.sim.timeout(pause_us)
+
+    def add_jbof(self):
+        """Generator: provision a whole new JBOF and join its vnodes.
+
+        Scale-out hook for the scenario autoscaler: builds a node with
+        the cluster's stock geometry, registers it JOINING, then joins
+        each vnode (COPY migrates the gained ranges in).  Returns the
+        new node.
+        """
+        if self.config.workers > 0:
+            raise ValueError(
+                "scenario elasticity needs workers == 0: the shard plan "
+                "is fixed at construction under the parallel engine")
+        config = self.config
+        index = len(self.jbofs)
+        node = config.node_class(
+            self.sim, self.network, "jbof%d" % index,
+            spec=config.platform, num_ssds=config.ssds_per_jbof,
+            vnodes_per_ssd=config.vnodes_per_ssd,
+            store_config=config.store, options=config.options,
+            rng=self.rng.fork("jbof%d" % index),
+            nic_profile=config.nic_profile,
+            control_plane_address=self.control_plane.address,
+            replication_protocol=config.replication_protocol)
+        self.jbofs.append(node)
+        self.control_plane.register_joining_jbof(node)
+        for vnode_id in sorted(node.vnodes):
+            yield from self.control_plane.join_vnode(vnode_id, node.address)
+        return node
+
+    def remove_jbof(self, index: int):
+        """Generator: drain JBOF ``index`` and power it down.
+
+        The scale-in counterpart of :meth:`add_jbof`: every vnode
+        leaves gracefully (data migrates away), the runtimes are
+        retired, and the node stops its background loops.  The node
+        object stays attached (idle) — rejoining later means fresh
+        joins.
+        """
+        node = self._injection_target(index)
+        for vnode_id in sorted(node.vnodes):
+            if vnode_id in self.control_plane.vnodes:
+                yield from self.control_plane.remove_vnode(vnode_id)
+        self.control_plane.forget_jbof(node.address)
+        self.control_plane.rpc.notify(node.address, "node_stop", None, 16)
+
     # -- convenience -----------------------------------------------------------------
 
     def load(self, pairs, client_index: int = 0, parallelism: int = 16):

@@ -697,7 +697,8 @@ class LeedDataStore:
 
     # -- scans (COPY primitive substrate, §3.8) -----------------------------------------
 
-    def scan(self, predicate=None, batch_size: int = 32, visit=None):
+    def scan(self, predicate=None, batch_size: int = 32, visit=None,
+             stamp=None):
         """Generator: iterate live (key, value) pairs via real SSD reads.
 
         Each segment is locked while its items are copied out, making
@@ -705,6 +706,14 @@ class LeedDataStore:
         exactly the COPY semantics of §3.8.  ``predicate(key)`` filters
         keys; ``visit(batch)`` (when given) receives lists of pairs as
         they are produced, otherwise all pairs are returned at the end.
+
+        ``stamp(key)``, when given, is evaluated in the same event as
+        the value read and batch items become ``(key, value, stamp)``
+        triples.  COPY uses this to version each pair *at read time*:
+        a pair can sit in the outgoing batch buffer while the key takes
+        a newer write (which the migration mirror forwards separately),
+        and only a read-time stamp lets the destination tell the
+        buffered snapshot is stale.
         """
         collected = []
         batch = []
@@ -728,7 +737,10 @@ class LeedDataStore:
                     _sid, stored_key, value, _sz, _own = unpack_value_entry(blob)
                     if stored_key != item.key:
                         continue
-                    batch.append((stored_key, value))
+                    if stamp is None:
+                        batch.append((stored_key, value))
+                    else:
+                        batch.append((stored_key, value, stamp(stored_key)))
                     if visit is not None and len(batch) >= batch_size:
                         yield from visit(batch)
                         batch = []

@@ -130,11 +130,18 @@ class VNodeStats:
 
     writes_forwarded: int = 0
     writes_committed: int = 0
+    #: Write attempts refused because they surfaced from a congested
+    #: queue after the issuing client's per-attempt deadline (zombie
+    #: duplicates of retried writes).
+    writes_expired: int = 0
     reads_served: int = 0
     reads_shipped: int = 0
     nacks: int = 0
     copies_in: int = 0
     copies_out: int = 0
+    #: Migration pairs refused by the per-key stamp guard (a COPY scan
+    #: snapshot arriving after a newer mirrored write).
+    copies_stale: int = 0
     version_queries: int = 0
     version_query_bytes: int = 0
     #: Quorum-protocol counters (ABD): phase rounds this vnode
@@ -166,6 +173,11 @@ class VNodeRuntime:
         #: policies append before executing a replicated write and
         #: retire on acknowledgment (see :mod:`repro.core.wal`).
         self.wal = WriteAheadLog(vnode_id)
+        #: Highest migration stamp applied per key while this vnode is
+        #: a COPY/mirror destination (see CopyBatch.versions): stale
+        #: scan snapshots arriving after a newer mirrored write are
+        #: refused instead of rolling the key back.
+        self.migration_stamps: Dict[bytes, object] = {}
         self.stats = VNodeStats()
 
     def mark_dirty(self, key: bytes) -> None:
@@ -240,6 +252,15 @@ class JBOFNode:
         self.requests_completed = 0
         self.swap_redirects = 0
         self.alive = True
+        #: Set between :meth:`power_fail` and :meth:`power_restore`.
+        self._powered_off = False
+        #: Software identity, bumped by :meth:`upgrade` during rolling
+        #: upgrades (scenario hooks; purely reporting).
+        self.software_version = "v1"
+        #: Whether the background loops are live — :meth:`recover`
+        #: respawns any that exited while the node was down.
+        self._heartbeat_running = False
+        self._maintenance_running = False
         #: Active migration mirrors: src vnode -> list of
         #: {"arcs", "dst_vnode", "dst_address"}.  While a COPY is in
         #: flight, writes committed here in those arcs are also shipped
@@ -268,11 +289,11 @@ class JBOFNode:
         self.rpc.register("mirror_end", self._handle_mirror_end)
         self.rpc.register("node_stop", self._handle_node_stop)
         self.rpc.register("membership", self._handle_membership)
+        self.rpc.register("vnode_create", self._handle_vnode_create)
+        self.rpc.register("vnode_retire", self._handle_vnode_retire)
         if self.options.fast_datapath:
             self._enable_fast_datapath()
-        sim.process(self._maintenance(), name=address + ".maintenance")
-        if control_plane_address is not None:
-            sim.process(self._heartbeat_loop(), name=address + ".heartbeat")
+        self._spawn_background()
 
     def _enable_fast_datapath(self) -> None:
         """Server half of the ``fast_datapath`` knob (docs/performance.md)."""
@@ -568,29 +589,55 @@ class JBOFNode:
 
         def ship(batch):
             payload = CopyBatch(src_vnode_id, dst_vnode_id,
-                                pairs=list(batch))
+                                pairs=[(k, v) for k, v, _ in batch],
+                                versions=[s for _, _, s in batch])
             sent[0] += len(batch)
             runtime.stats.copies_out += len(batch)
             yield self.rpc.call(dst_address, "copy_batch", payload,
                                 payload.wire_bytes(), timeout_us=5e6)
 
-        yield from runtime.store.scan(predicate=predicate,
-                                      batch_size=batch_size, visit=ship)
+        yield from runtime.store.scan(
+            predicate=predicate, batch_size=batch_size, visit=ship,
+            stamp=lambda key: self.policy.migration_stamp(runtime, key))
         finale = CopyBatch(src_vnode_id, dst_vnode_id, pairs=[], done=True)
         yield self.rpc.call(dst_address, "copy_batch", finale,
                             finale.wire_bytes(), timeout_us=5e6)
         return sent[0]
+
+    def _migration_apply_fresh(self, runtime: VNodeRuntime, key: bytes,
+                               version) -> bool:
+        """Admit one migration pair (COPY batch or mirror forward).
+
+        Keeps the per-key high-water stamp and refuses pairs below it:
+        a scan snapshot buffered across a newer committed write (which
+        the mirror already forwarded) must not roll the key back.
+        Unversioned pairs apply unconditionally (arrival order), the
+        pre-stamp behavior.
+        """
+        if version is None:
+            return True
+        prev = runtime.migration_stamps.get(key)
+        if prev is not None and version < prev:
+            runtime.stats.copies_stale += 1
+            return False
+        runtime.migration_stamps[key] = version
+        return True
 
     def _handle_copy_batch(self, src: str, batch: CopyBatch):
         runtime = self.vnodes.get(batch.dst_vnode)
         if runtime is None:
             return KVReply(STATUS_NACK), 16
         applied = 0
-        for key, value in batch.pairs:
+        versions = batch.versions or [None] * len(batch.pairs)
+        for (key, value), version in zip(batch.pairs, versions):
+            if not self._migration_apply_fresh(runtime, key, version):
+                continue
             result = yield runtime.engine.submit(
                 KVCommand("put", key, value, tenant="__copy__"))
             if result.ok:
                 applied += 1
+                if version is not None:
+                    self.policy.on_migrated(runtime, key, version)
         runtime.stats.copies_in += applied
         reply = KVReply(STATUS_OK, tokens=runtime.engine.allocation_for(
             "__copy__"))
@@ -624,12 +671,24 @@ class JBOFNode:
         self.end_mirror(body["src_vnode"], body["dst_vnode"])
         return None
 
-    def _mirror_write(self, vnode_id: str, key: bytes, value: bytes) -> None:
+    def _mirror_write(self, vnode_id: str, key: bytes, value: bytes,
+                      version=None) -> None:
+        """Forward one committed write to active migration mirrors.
+
+        ``version`` is the write's own commit stamp (chain version int,
+        ABD timestamp) — captured by the caller at its commitment
+        point, not looked up here, because another write of the same
+        key can commit while this one's execute was still yielding.
+        """
         from repro.core.hashring import in_arcs, ring_position
-        for mirror in self._mirrors.get(vnode_id, []):
+        mirrors = self._mirrors.get(vnode_id)
+        if not mirrors:
+            return
+        for mirror in mirrors:
             if in_arcs(ring_position(key), mirror["arcs"]):
                 payload = CopyBatch(vnode_id, mirror["dst_vnode"],
-                                    pairs=[(key, value)])
+                                    pairs=[(key, value)],
+                                    versions=[version])
                 self.rpc.notify(mirror["dst_address"], "copy_mirror",
                                 payload, payload.wire_bytes())
 
@@ -637,9 +696,14 @@ class JBOFNode:
         runtime = self.vnodes.get(batch.dst_vnode)
         if runtime is None:
             return None
-        for key, value in batch.pairs:
-            yield runtime.engine.submit(
+        versions = batch.versions or [None] * len(batch.pairs)
+        for (key, value), version in zip(batch.pairs, versions):
+            if not self._migration_apply_fresh(runtime, key, version):
+                continue
+            result = yield runtime.engine.submit(
                 KVCommand("put", key, value, tenant="__copy__"))
+            if result.ok and version is not None:
+                self.policy.on_migrated(runtime, key, version)
         return None
 
     def _handle_do_copy(self, src: str, body: dict):
@@ -680,10 +744,30 @@ class JBOFNode:
             self.policy.on_peer_failure(vnode_id)
         self.policy.on_membership_change(update)
 
+    def _spawn_background(self) -> None:
+        """Start the maintenance and heartbeat loops (idempotent).
+
+        Called at construction and again by :meth:`recover`: the loops
+        exit when they observe a dead node, so a node that comes back
+        after a crash or power cycle needs them respawned.  The
+        ``_running`` flags guard against double-spawning when recovery
+        lands before a loop's next wakeup.
+        """
+        if not self._maintenance_running:
+            self._maintenance_running = True
+            self.sim.process(self._maintenance(),
+                             name=self.address + ".maintenance")
+        if self.control_plane_address is not None \
+                and not self._heartbeat_running:
+            self._heartbeat_running = True
+            self.sim.process(self._heartbeat_loop(),
+                             name=self.address + ".heartbeat")
+
     def _heartbeat_loop(self):
         while True:
             yield self.sim.timeout(self.options.heartbeat_period_us)
             if not self.alive:
+                self._heartbeat_running = False
                 return
             beat = Heartbeat(self.address, self.sim.now)
             self.rpc.notify(self.control_plane_address, "heartbeat", beat,
@@ -694,6 +778,7 @@ class JBOFNode:
         while True:
             yield self.sim.timeout(self.options.maintenance_poll_us)
             if not self.alive:
+                self._maintenance_running = False
                 return
             for runtime in list(self.vnodes.values()):
                 if runtime.compactor is not None:
@@ -731,6 +816,7 @@ class JBOFNode:
         """
         self.alive = True
         self.network.heal(self.address)
+        self._spawn_background()
         self.wal_recovery = None
         if not self.options.wal_enabled:
             return
@@ -777,6 +863,130 @@ class JBOFNode:
                 runtime.wal.mark_replayed(record.lsn, skipped=not replayed)
                 report["replayed" if replayed else "skipped"] += 1
         report["completed_at_us"] = self.sim.now
+
+    # -- scenario lifecycle hooks (power loss, upgrades, elasticity) --------------------------
+
+    def power_fail(self) -> None:
+        """Power loss: fail-stop *plus* loss of all SoC DRAM state.
+
+        Unlike :meth:`crash` (where the DRAM index survives and the
+        node could resume serving immediately), a power failure wipes
+        every vnode's SegTbl — only the flash logs and the
+        capacitor-backed WAL survive (§3.2.3).  Call
+        :meth:`power_restore` to scan the logs and rebuild.
+        """
+        self.crash()
+        self._powered_off = True
+
+    def power_restore(self):
+        """Generator: power back on and rebuild from flash (§3.2.3).
+
+        Every vnode gets a fresh store object over its surviving SSD
+        region; a sequential key-log scan (:func:`recover_store`)
+        rebuilds each SegTbl, then :meth:`recover` heals the network
+        and replays unacknowledged WAL intents.  Returns a report dict
+        with per-vnode scan results and aggregate timing.
+        """
+        from repro.core.recovery import recover_store
+        started = self.sim.now
+        report = {"started_at_us": started, "vnodes": {},
+                  "objects_recovered": 0, "blocks_scanned": 0}
+        for vnode_id in sorted(self.vnodes):
+            fresh = self._rebuild_vnode(self.vnodes[vnode_id],
+                                        carry_wal=True)
+            scan = yield from recover_store(fresh.store)
+            self.vnodes[vnode_id] = fresh
+            report["vnodes"][vnode_id] = {
+                "blocks_scanned": scan.blocks_scanned,
+                "segments_recovered": scan.segments_recovered,
+                "live_objects": scan.live_objects,
+                "duration_us": scan.duration_us,
+            }
+            report["objects_recovered"] += scan.live_objects
+            report["blocks_scanned"] += scan.blocks_scanned
+        self._cross_register([r.store for _, r in sorted(self.vnodes.items())])
+        self._powered_off = False
+        report["scan_duration_us"] = self.sim.now - started
+        self.recover()
+        report["wal"] = self.wal_recovery
+        return report
+
+    def upgrade(self, version: str) -> None:
+        """Replace the node's software in place (rolling upgrade).
+
+        Models the "replace" step of drain → replace → rejoin: every
+        vnode's runtime is rebuilt with a *fresh, empty* store (the
+        upgraded binary starts cold; the drain step already migrated
+        the data away) and marked JOINING so it refuses traffic until
+        the control plane re-joins it and COPY repopulates it.
+        """
+        for vnode_id in sorted(self.vnodes):
+            fresh = self._rebuild_vnode(self.vnodes[vnode_id],
+                                        carry_wal=False)
+            fresh.state = JOINING
+            self.vnodes[vnode_id] = fresh
+        self._cross_register([r.store for _, r in sorted(self.vnodes.items())])
+        self.software_version = version
+
+    def _rebuild_vnode(self, old: VNodeRuntime,
+                       carry_wal: bool = True) -> VNodeRuntime:
+        """A fresh runtime (store/engine/compactor) over ``old``'s SSD
+        region.  The flash content is untouched; the WAL (NVRAM) and
+        cumulative stats carry over unless dropped explicitly."""
+        store = old.store
+        ssd_index = next(i for i, ssd in enumerate(self.ssds)
+                         if ssd is store.ssd)
+        per_store = self.store_config.total_bytes()
+        slot = store.key_log.region_offset // max(per_store, 1)
+        fresh = self._make_vnode(old.vnode_id, store.ssd, ssd_index, slot,
+                                 store.store_id)
+        if carry_wal:
+            fresh.wal = old.wal
+        fresh.state = old.state
+        fresh.stats = old.stats
+        return fresh
+
+    def _handle_vnode_create(self, src: str, body: dict):
+        """RPC: provision a fresh vnode (control-plane scale-out).
+
+        The new partition lands on the SSD currently hosting the
+        fewest stores (lowest index on ties) and starts JOINING — it
+        serves no traffic until the control plane completes the join.
+        Replies with the new vnode id, or an empty id when no SSD has
+        a free region.
+        """
+        vnode_id = "%s/%s" % (self.address, body["suffix"])
+        yield from self._control_core.execute(CYCLE_COSTS["rpc_receive"])
+        if vnode_id in self.vnodes:
+            return vnode_id, 64  # idempotent retry
+        per_store = self.store_config.total_bytes()
+        slots_used = [0] * len(self.ssds)
+        for _, runtime in sorted(self.vnodes.items()):
+            for index, ssd in enumerate(self.ssds):
+                if ssd is runtime.store.ssd:
+                    slots_used[index] += 1
+                    break
+        candidates = [i for i in range(len(self.ssds))
+                      if per_store * (slots_used[i] + 1)
+                      <= self.ssds[i].capacity_bytes]
+        if not candidates:
+            return "", 64
+        ssd_index = min(candidates, key=lambda i: (slots_used[i], i))
+        store_id = 1 + max((r.store.store_id
+                            for _, r in sorted(self.vnodes.items())),
+                           default=-1)
+        runtime = self._make_vnode(vnode_id, self.ssds[ssd_index],
+                                   ssd_index, slots_used[ssd_index],
+                                   store_id)
+        runtime.state = JOINING
+        self.vnodes[vnode_id] = runtime
+        self._cross_register([r.store for _, r in sorted(self.vnodes.items())])
+        return vnode_id, 64
+
+    def _handle_vnode_retire(self, src: str, vnode_id: str) -> None:
+        """RPC: drop a vnode runtime after its graceful leave."""
+        self.vnodes.pop(vnode_id, None)
+        return None
 
     # -- reporting ----------------------------------------------------------------------------
 

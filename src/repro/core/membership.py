@@ -221,11 +221,12 @@ class ControlPlane:
         self._broadcast()
 
         tasks = self._copy_tasks_for_gain(old_ring, new_ring, [vnode_id])
-        yield from self._run_copy_tasks(tasks)
+        mirrored = yield from self._run_copy_tasks(tasks)
 
         info.state = RUNNING
         self.ring_version += 1
         self._broadcast()
+        self._end_mirrors(mirrored)
         self.membership_events.append((self.sim.now, "join_end", vnode_id))
 
     def leave_vnode(self, vnode_id: str):
@@ -242,12 +243,77 @@ class ControlPlane:
         gainers = self._gaining_vnodes(old_ring, new_ring, vnode_id)
         tasks = self._copy_tasks_for_gain(old_ring, new_ring, gainers,
                                           exclude_source=vnode_id)
-        yield from self._run_copy_tasks(tasks)
+        mirrored = yield from self._run_copy_tasks(tasks)
 
         del self.vnodes[vnode_id]
         self.ring_version += 1
         self._broadcast()
+        self._end_mirrors(mirrored)
         self.membership_events.append((self.sim.now, "leave_end", vnode_id))
+
+    def add_vnode(self, jbof_address: str, suffix: str):
+        """Generator: provision a fresh vnode on a JBOF, then join it.
+
+        Scale-out primitive for the scenario library's autoscaler: the
+        node is asked over RPC (``vnode_create``) to build an empty
+        partition on its least-loaded SSD; the standard join flow then
+        COPYs the stipulated ranges in.  Returns the new vnode id, or
+        None when the node had no free SSD region.
+        """
+        vnode_id = yield self.rpc.call(jbof_address, "vnode_create",
+                                       {"suffix": suffix}, 64,
+                                       timeout_us=5e6)
+        if not vnode_id:
+            return None
+        yield from self.join_vnode(vnode_id, jbof_address)
+        return vnode_id
+
+    def remove_vnode(self, vnode_id: str):
+        """Generator: gracefully retire a vnode (scale-in primitive).
+
+        A voluntary leave migrates the data away; the hosting node is
+        then told to drop the runtime (``vnode_retire``) so the
+        partition's resources are genuinely released.
+        """
+        info = self.vnodes.get(vnode_id)
+        if info is None:
+            return
+        jbof_address = info.jbof_address
+        yield from self.leave_vnode(vnode_id)
+        self.rpc.notify(jbof_address, "vnode_retire", vnode_id, 32)
+
+    def register_joining_jbof(self, node: JBOFNode) -> None:
+        """Track a JBOF whose vnodes must *join* before serving.
+
+        Unlike :meth:`register_jbof` (bootstrap: vnodes are born
+        RUNNING), a node provisioned mid-run starts with every vnode
+        JOINING; the caller drives :meth:`join_vnode` for each so the
+        ranges are COPY'd in before the ring serves from them.
+        """
+        self.register_jbof(node)
+        for vnode_id in sorted(node.vnodes):
+            self.vnodes[vnode_id].state = JOINING
+
+    def mark_alive(self, jbof_address: str) -> None:
+        """Re-arm failure detection for a revived JBOF.
+
+        A detected failure parks the address in the failed set so the
+        monitor fires once per incident; a node that was healed and is
+        rejoining must leave that set (and get a fresh heartbeat
+        stamp) or its *next* crash would go undetected.
+        """
+        self._failed.discard(jbof_address)
+        self._last_heartbeat[jbof_address] = self.sim.now
+
+    def forget_jbof(self, jbof_address: str) -> None:
+        """Stop failure-monitoring a deliberately retired JBOF.
+
+        Scale-in stops a node's heartbeats on purpose; without this
+        the monitor would declare a (vnode-less) failure and pollute
+        the membership event log with a phantom incident.
+        """
+        self._last_heartbeat.pop(jbof_address, None)
+        self._failed.discard(jbof_address)
 
     def handle_jbof_failure(self, jbof_address: str):
         """Generator: involuntary leave of every vnode on a dead JBOF."""
@@ -275,13 +341,14 @@ class ControlPlane:
 
         tasks = self._copy_tasks_for_gain(old_ring, new_ring, gainers,
                                           exclude_source_address=jbof_address)
-        yield from self._run_copy_tasks(tasks)
+        mirrored = yield from self._run_copy_tasks(tasks)
 
         for gainer in gainers:
             if gainer in self.vnodes:
                 self.vnodes[gainer].state = RUNNING
         self.ring_version += 1
         self._broadcast()
+        self._end_mirrors(mirrored)
         self.membership_events.append((self.sim.now, "recovered",
                                        jbof_address))
 
@@ -352,14 +419,30 @@ class ControlPlane:
         """Generator: drive COPY tasks on their source JBOFs, over RPC.
 
         The control plane never calls into node objects at runtime —
-        each source is told to start mirroring (``mirror_begin``), runs
-        the COPY itself (``do_copy``), and tears the mirror down
-        (``mirror_end``).  Per-pair FIFO delivery guarantees the mirror
-        is active before the source starts scanning, so writes
-        committed during the COPY are never lost.  All COPYs are
-        issued up front and awaited together, preserving the parallel
-        schedule of the earlier in-process implementation.
+        each source is told to start mirroring (``mirror_begin``) and
+        then runs the COPY itself (``do_copy``).  Per-pair FIFO
+        delivery guarantees the mirror is active before the source
+        starts scanning, so writes committed during the COPY are never
+        lost.  All COPYs are issued up front and awaited together,
+        preserving the parallel schedule of the earlier in-process
+        implementation.
+
+        Mirrors are deliberately NOT torn down here.  The destination
+        only becomes a serving chain member at the caller's ring-
+        version bump, and a write committed on a source *between the
+        end of the scan and that ring switch* must still be forwarded
+        — ending the mirror at scan end silently drops such writes on
+        the new replica, which then serves stale data as a clean chain
+        member (a lost acked write).  Callers tear mirrors down with
+        :meth:`_end_mirrors` after broadcasting the new ring; the
+        broadcast and the teardown share the control plane's per-node
+        connection, so a source adopts the new ring (and starts
+        NACKing old-epoch writes) before its mirror disappears.
+
+        Returns the tasks whose mirrors were started (skipping dead
+        sources), i.e. the teardown worklist for :meth:`_end_mirrors`.
         """
+        started = []
         calls = []
         for task in tasks:
             if task.src_address in self._failed:
@@ -369,13 +452,19 @@ class ControlPlane:
                     "dst_vnode": task.dst_vnode,
                     "dst_address": task.dst_address}
             self.rpc.notify(task.src_address, "mirror_begin", body, 64)
+            started.append(task)
             calls.append((task, self.rpc.call(
                 task.src_address, "do_copy", body, 64, timeout_us=5e6)))
-        for task, call in calls:
+        for _task, call in calls:
             try:
                 yield call
             except Exception:
                 pass  # a source died mid-copy; failure handling re-plans
+        return started
+
+    def _end_mirrors(self, tasks: List[CopyTask]) -> None:
+        """Tear down migration mirrors once the new ring is published."""
+        for task in tasks:
             self.rpc.notify(task.src_address, "mirror_end",
                             {"src_vnode": task.src_vnode,
                              "dst_vnode": task.dst_vnode}, 32)

@@ -81,6 +81,14 @@ class KVRequest:
     #: the wire (excluded from :meth:`wire_bytes`).  ``None`` when the
     #: request is unsampled.
     trace: Optional[object] = None
+    #: Absolute sim time after which the issuing client has given up
+    #: on this attempt.  Replicas drop expired *writes* at the chain
+    #: entry and commitment points: a retried write's earlier attempt
+    #: surfacing from a congested queue after the client already acked
+    #: a newer value would silently roll the key back (a lost acked
+    #: write the scenario suite caught).  Rides the fixed-size header
+    #: like ``trace`` — excluded from :meth:`wire_bytes`.
+    deadline_us: Optional[float] = None
 
     def wire_bytes(self) -> int:
         """Bytes this command occupies on the wire."""
@@ -126,6 +134,15 @@ class CopyBatch:
     dst_vnode: str
     pairs: List[Tuple[bytes, bytes]] = field(default_factory=list)
     done: bool = False
+    #: Source-side per-key migration stamps, parallel to ``pairs``,
+    #: captured when each value was *read* (COPY scan) or committed
+    #: (mirror forward).  The destination refuses a pair older than
+    #: what it already applied for the key: a scan snapshot can sit in
+    #: the batch buffer while the mirror forwards a newer committed
+    #: write, and applying the buffered pair afterwards would roll the
+    #: key back (a lost acked write the scenario suite caught).  Rides
+    #: the per-entry header — excluded from :meth:`wire_bytes`.
+    versions: Optional[List[int]] = None
 
     def wire_bytes(self) -> int:
         return 24 + sum(len(k) + len(v) for k, v in self.pairs)

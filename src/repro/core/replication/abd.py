@@ -103,6 +103,21 @@ class AbdQuorum(ReplicationPolicy):
     def committed_stamp(self, runtime, key: bytes):
         return self.stamp_of(runtime.vnode_id, key)
 
+    def migration_stamp(self, runtime, key: bytes):
+        # ABD's (round, writer) timestamps are the protocol's total
+        # order; COPY/mirror pairs carry them so a buffered scan
+        # snapshot cannot be applied over a newer quorum commit.
+        return self.stamp_of(runtime.vnode_id, key)
+
+    def on_migrated(self, runtime, key: bytes, stamp) -> None:
+        # A migrated value must carry its timestamp into this replica's
+        # vote, or a stale pre-migration replica outvotes the fresh
+        # copy at the next read quorum and read-repair rolls the key
+        # back (a lost acked write the failure-burst matrix caught).
+        if isinstance(stamp, tuple) \
+                and stamp > self.stamp_of(runtime.vnode_id, key):
+            self._set_stamp(runtime.vnode_id, key, stamp)
+
     def _peers(self, chain: List[str],
                own_vnode: str) -> List[Tuple[str, str]]:
         """(vnode_id, jbof_address) for every other replica of the key."""
@@ -170,6 +185,14 @@ class AbdQuorum(ReplicationPolicy):
 
     def on_client_write(self, runtime, request, body, chain):
         node = self.node
+        # A retried write's earlier attempt surfacing after its
+        # per-attempt deadline would take a *fresh* stamp (max+1) and
+        # roll the key back over newer acked values; refuse it before
+        # the query phase (same zombie guard as the chain entry).
+        if (body.op != "get" and body.deadline_us is not None
+                and node.sim.now > body.deadline_us):
+            runtime.stats.writes_expired += 1
+            return
         majority = len(chain) // 2 + 1
         peers = self._peers(chain, runtime.vnode_id)
         if len(peers) + 1 < majority:
@@ -226,7 +249,8 @@ class AbdQuorum(ReplicationPolicy):
         runtime.stats.writes_committed += 1
         node._respond(request, node._reply_for(runtime, body, result))
         if result.ok and body.op == "put":
-            node._mirror_write(runtime.vnode_id, body.key, body.value)
+            node._mirror_write(runtime.vnode_id, body.key, body.value,
+                               stamp)
 
     def on_forward(self, runtime, request, body, chain):
         # No chain hops in ABD: a forwarded envelope (stale client

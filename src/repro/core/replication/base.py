@@ -165,6 +165,31 @@ class ReplicationPolicy:
         tests use this to check per-key monotonicity."""
         return 0
 
+    def migration_stamp(self, runtime, key: bytes) -> int:
+        """Monotonic per-key stamp for COPY/mirror migration ordering.
+
+        Captured at the source when a pair is scanned (COPY) or
+        committed (mirror) and compared at the destination, so a scan
+        snapshot that was buffered across a newer committed write
+        cannot be applied over it.  Chain replicas count applies in
+        ``applied_version``; quorum protocols override with their own
+        ordering stamp.
+        """
+        return runtime.applied_version.get(key, 0)
+
+    def on_migrated(self, runtime, key: bytes, stamp) -> None:
+        """A COPY/mirror pair for ``key`` was applied at this replica
+        with the source's migration ``stamp``.  Synchronous; no events.
+
+        Protocols whose read quorums compare per-key stamps across
+        replicas must adopt the migrated stamp here: after a ring
+        change the destination holds the value but would otherwise
+        vote the zero stamp, letting a stale pre-change replica outvote
+        it and read-repair an acked write away.  Chain replication
+        keeps the default no-op — its counters are per-replica and
+        reads serialize through the tail, never by stamp comparison.
+        """
+
     def __repr__(self):
         return "<%s on %s>" % (type(self).__name__, self.node.address)
 

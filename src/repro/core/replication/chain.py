@@ -62,13 +62,28 @@ class ChainReplication(ReplicationPolicy):
         node = self.node
         wal = self._wal(runtime)
         is_tail = body.hop == len(chain) - 1
+        # Client retries make writes at-least-once: an attempt that sat
+        # in a COPY-congested queue past its deadline may have been
+        # superseded by a retry (and by later acked writes).  Refuse it
+        # at the chain entry (nothing applied yet, clean drop) and at
+        # the commitment point.  On a tail drop the upstream replicas
+        # keep the zombie value but their dirty bits stay set — no ack
+        # cascade runs — so every read of the key ships to the tail
+        # until the retry commits and its own cascade clears them.
+        # The client stopped listening at the deadline; no reply owed.
+        if (body.op != "get" and body.deadline_us is not None
+                and node.sim.now > body.deadline_us
+                and (body.hop == 0 or is_tail)):
+            runtime.stats.writes_expired += 1
+            return
         if not is_tail:
             runtime.mark_dirty(body.key)
             version = runtime.applied_version.get(body.key, 0) + 1
             runtime.applied_version[body.key] = version
             record = None
             if wal is not None:
-                record = wal.append(body.op, body.key, body.value, version)
+                record = wal.append(body.op, body.key, body.value, version,
+                                    ring_version=node.local_ring.version)
             result = yield from node._execute(runtime, body)
             if not result.ok and result.status != STATUS_NOT_FOUND:
                 # Local failure (e.g. store full): surface immediately.
@@ -96,7 +111,8 @@ class ChainReplication(ReplicationPolicy):
                 CYCLE_COSTS["replication_forward"])
             forwarded = KVRequest(body.op, body.key, body.value, next_id,
                                   body.ring_version, body.hop + 1,
-                                  body.tenant, trace=body.trace)
+                                  body.tenant, trace=body.trace,
+                                  deadline_us=body.deadline_us)
             node.rpc.forward(next_vnode.jbof_address, request, forwarded,
                              forwarded.wire_bytes())
             return
@@ -106,7 +122,8 @@ class ChainReplication(ReplicationPolicy):
         runtime.committed_version[body.key] = version
         record = None
         if wal is not None:
-            record = wal.append(body.op, body.key, body.value, version)
+            record = wal.append(body.op, body.key, body.value, version,
+                                ring_version=node.local_ring.version)
         result = yield from node._execute(runtime, body)
         if record is not None:
             # The tail IS the commit: the intent is durable now.
@@ -120,7 +137,8 @@ class ChainReplication(ReplicationPolicy):
         # "incoming PUTs ... might be forwarded to the new virtual
         # node depending on if their keys are copied").
         if result.ok and body.op == "put":
-            node._mirror_write(runtime.vnode_id, body.key, body.value)
+            node._mirror_write(runtime.vnode_id, body.key, body.value,
+                               version)
 
     def send_ack(self, chain: List[str], index: int, key: bytes) -> None:
         node = self.node
@@ -210,11 +228,17 @@ class ChainReplication(ReplicationPolicy):
         A version query to the current tail skips records the chain
         already committed at an equal-or-newer version (the common
         case: only the backward ack was lost to the crash).  Version
-        counters are not comparable across ring reconfigurations, so
-        the skip is best-effort — re-proposing an already-committed
-        write rewrites the same chain state and is harmless.
+        counters are not comparable across ring reconfigurations, so a
+        record journaled under an older ring epoch is *never*
+        re-proposed: the chain may have accepted newer writes under
+        fresh counters, and replaying the stale value would overwrite
+        an acknowledged update (a real lost-acked-write the scenario
+        suite caught).  Dropping it is safe — the intent's client
+        never received an ack, so either outcome is linearizable.
         """
         node = self.node
+        if record.ring_version and node.local_ring.version != record.ring_version:
+            return False
         for attempt in range(3):
             ring = node.local_ring
             chain = ring.chain_ids_for_key(record.key)

@@ -41,6 +41,13 @@ class WalRecord:
     #: the ABD logical timestamp tuple.  Replay compares it against
     #: the cluster's current state to skip already-durable writes.
     stamp: object = 0
+    #: Ring version when the intent was journaled.  Chain version
+    #: counters are only comparable within one ring epoch, so chain
+    #: replay refuses records from a reconfigured-away epoch rather
+    #: than risk re-proposing a stale value over a newer acked write
+    #: (0 = unknown epoch: replay unconditionally, the pre-epoch
+    #: behavior ABD still uses — its stamps are globally ordered).
+    ring_version: int = 0
 
     def wire_bytes(self) -> int:
         return (WAL_RECORD_HEADER_BYTES + len(self.key)
@@ -82,9 +89,10 @@ class WriteAheadLog:
         return len(self._unacked)
 
     def append(self, op: str, key: bytes, value: Optional[bytes],
-               stamp: object = 0) -> WalRecord:
+               stamp: object = 0, ring_version: int = 0) -> WalRecord:
         """Journal one write intent; returns the record."""
-        record = WalRecord(self._next_lsn, op, key, value, stamp)
+        record = WalRecord(self._next_lsn, op, key, value, stamp,
+                           ring_version)
         self._next_lsn += 1
         self._unacked[record.lsn] = record
         self._by_key.setdefault(key, deque()).append(record.lsn)

@@ -41,6 +41,7 @@ def _default_layers() -> Dict[str, FrozenSet[str]]:
         "repro.workloads": workloads,
         "repro.baselines": top,
         "repro.bench": top | {"repro.bench"},
+        "repro.scenarios": top | {"repro.scenarios"},
         "repro.lint": top | {"repro.bench", "repro.lint"},
     }
 
@@ -75,7 +76,12 @@ class LintConfig:
 
     #: Directories where peer-node object references cross shard
     #: boundaries under the partition-parallel engine (SIM006).
-    cross_shard_scopes: Tuple[str, ...] = ("repro/core/",)
+    #: Scenario injectors reach node objects through the cluster's
+    #: registry, so they are held to the same rule (the serial-engine
+    #: guard in ``LeedCluster._injection_target`` is what makes the
+    #: suppressed sites safe).
+    cross_shard_scopes: Tuple[str, ...] = ("repro/core/",
+                                           "repro/scenarios/")
 
     #: Attribute names holding registries of peer JBOF node objects
     #: (SIM006): objects fetched from these may live in another worker

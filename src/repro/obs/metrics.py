@@ -31,6 +31,9 @@ class MetricsRegistry:
         self._histograms: Dict[str, LatencyHistogram] = {}
         self._sampling = False
         self._process = None
+        #: Scenario-phase tag stamped onto records (None = untagged;
+        #: untagged records keep their pre-scenario shape).
+        self._phase: Optional[str] = None
 
     # -- registration -------------------------------------------------------
 
@@ -58,6 +61,15 @@ class MetricsRegistry:
             self._histograms[name] = LatencyHistogram()
         return self._histograms[name]
 
+    def set_phase(self, name: Optional[str]) -> None:
+        """Tag subsequent samples with a scenario phase name.
+
+        Pass ``None`` to clear.  Records taken while no phase is set
+        omit the key entirely, so pre-scenario callers see identical
+        bytes.
+        """
+        self._phase = name
+
     # -- sampling -----------------------------------------------------------
 
     def sample_now(self) -> Dict[str, object]:
@@ -70,6 +82,8 @@ class MetricsRegistry:
             "histograms": {k: self._histograms[k].to_dict()
                            for k in sorted(self._histograms)},
         }
+        if self._phase is not None:
+            record["phase"] = self._phase
         self.records.append(record)
         return record
 
@@ -113,6 +127,8 @@ class MetricsRegistry:
         rows: List[Dict[str, object]] = []
         for record in self.records:
             row: Dict[str, object] = {"label": label, "t_us": record["t_us"]}
+            if "phase" in record:
+                row["phase"] = record["phase"]
             for k, v in record["counters"].items():
                 row[k] = v
             for k, v in record["gauges"].items():

@@ -1,0 +1,127 @@
+"""The built-in scenario catalog.
+
+Five production episodes, each exercising a different LEED claim:
+
+* ``diurnal`` — a day of traffic in miniature: night trough, morning
+  ramp, a flash crowd at peak, evening decay.  Pure load-shape; the
+  baseline for availability/p99 regressions.
+* ``hot_key_storm`` — a write-heavy workload whose Zipf skew shifts
+  mid-run (0.6 → 0.99): the CRRS dirty-read machinery under a
+  celebrity-key pile-on.
+* ``failure_burst`` — a fail-stop crash (detected, re-replicated,
+  rejoined) followed by a power blackout short enough to dodge the
+  failure detector: flash-scan SegTbl rebuild + capacitor-WAL replay
+  (§3.2.3), with zero lost acked writes asserted.
+* ``rolling_upgrade`` — drain → replace → rejoin every JBOF in turn
+  under live load: the zero-downtime upgrade drill.
+* ``autoscale`` — a surge that trips the reactive autoscaler into
+  adding a JBOF, then a trough that lets it scale back in on the
+  p99/energy signal.
+
+Definitions are scale-free: rates are multipliers on the scale's
+``base_rate_qps`` and durations are in ``phase_unit_us`` units.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.dsl import (AutoscalerConfig, Phase, Scenario, Segment,
+                                 inject, register_scenario)
+
+
+@register_scenario
+def diurnal() -> Scenario:
+    return Scenario(
+        name="diurnal",
+        description="Diurnal load curve with a flash crowd at peak",
+        workload="B",
+        phases=(
+            Phase("night", 0.5, segments=(Segment(0.0, 0.35),)),
+            Phase("morning_ramp", 1.0, segments=(
+                Segment(0.0, 0.5),
+                Segment(0.34, 0.75),
+                Segment(0.67, 1.0))),
+            Phase("peak_flash_crowd", 1.0, segments=(
+                Segment(0.0, 1.0),
+                Segment(0.4, 2.2),     # the crowd arrives
+                Segment(0.7, 1.1))),   # and disperses
+            Phase("evening", 0.5, segments=(Segment(0.0, 0.6),)),
+        ))
+
+
+@register_scenario
+def hot_key_storm() -> Scenario:
+    return Scenario(
+        name="hot_key_storm",
+        description="Write-heavy hot-key storm with mid-run skew shifts",
+        workload="A",
+        skew=0.6,
+        phases=(
+            Phase("steady", 0.5),
+            Phase("storm", 1.0, segments=(
+                Segment(0.0, 1.4, skew=0.95),
+                Segment(0.5, 1.6, skew=0.99))),  # skew deepens mid-storm
+            Phase("cooldown", 0.5, segments=(
+                Segment(0.0, 0.8, skew=0.8),)),
+        ))
+
+
+@register_scenario
+def failure_burst() -> Scenario:
+    # The blackout outage must stay below the scale's
+    # heartbeat_timeout_us so recovery exercises the *undetected*
+    # power-loss path (flash scan + WAL replay), not failover.
+    return Scenario(
+        name="failure_burst",
+        description="Fail-stop crash + rejoin, then a power blackout "
+                    "with WAL-replay recovery",
+        workload="A",
+        phases=(
+            Phase("warm", 0.5),
+            Phase("burst", 1.5, injections=(
+                inject(0.15, "crash", index=1),
+                inject(0.70, "rejoin", index=1))),
+            Phase("blackout", 1.0, injections=(
+                inject(0.25, "power_blackout", index=2, outage_us=6_000.0),)),
+            Phase("steady_state", 0.5),
+        ))
+
+
+@register_scenario
+def rolling_upgrade() -> Scenario:
+    return Scenario(
+        name="rolling_upgrade",
+        description="Rolling drain/replace/rejoin of every JBOF under load",
+        workload="B",
+        phases=(
+            Phase("steady", 0.5),
+            Phase("upgrade", 1.5, injections=(
+                inject(0.10, "rolling_upgrade", version="v2",
+                       pause_us=2_000.0),)),
+            Phase("verify", 0.5),
+        ))
+
+
+@register_scenario
+def autoscale() -> Scenario:
+    return Scenario(
+        name="autoscale",
+        description="Reactive JBOF scale-out on a p99 surge, scale-in "
+                    "on the energy trough",
+        workload="B",
+        # Cooldown must outlast a scale event's own migration churn
+        # (COPY + client ring refreshes spike p99 for tens of ms at
+        # smoke scale) or the scaler flaps: it reacts to the latency
+        # of its *own* scale-in with a pointless scale-out.
+        autoscaler=AutoscalerConfig(
+            check_interval_us=8_000.0,
+            p99_high_us=450.0,
+            p99_low_us=320.0,
+            max_extra_jbofs=1,
+            cooldown_us=80_000.0),
+        phases=(
+            Phase("calm", 0.5, segments=(Segment(0.0, 0.6),)),
+            # ~25x base saturates the smoke cluster (p99 ~600us with
+            # client-side drops); the reactive scaler must respond.
+            Phase("surge", 1.5, segments=(Segment(0.0, 25.0),)),
+            Phase("relax", 1.0, segments=(Segment(0.0, 0.4),)),
+        ))

@@ -1,0 +1,228 @@
+"""Scenario DSL: scales, load curves, phases, injections, registry.
+
+A :class:`Scenario` is a declarative description of a production
+episode: an ordered tuple of :class:`Phase` objects, each carrying a
+piecewise-constant load curve (:class:`Segment`) and a set of
+scheduled :class:`Injection` actions (crash, power blackout, rolling
+upgrade, ...).  Scenarios are pure data — frozen dataclasses with no
+simulator references — so the same definition replays byte-identically
+at any :class:`ScenarioScale` and seed.
+
+The catalog registers builders in ``SCENARIO_BUILDERS`` via
+:func:`register_scenario`; :func:`build_scenario` validates the result
+so a malformed definition fails at build time, not mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+#: Workload mixes scenarios may use.  D and F are excluded: inserts
+#: grow the key space mid-run and RMW issues dependent writes, both of
+#: which would complicate the single-writer acked-write ledger
+#: (:class:`repro.scenarios.load.WriteLedger`) for no scenario value.
+SCENARIO_WORKLOADS = ("A", "B", "C", "WR")
+
+
+@dataclass(frozen=True)
+class ScenarioScale:
+    """Cluster geometry and traffic sizing for one scale tier.
+
+    Scenarios are written against abstract time (phase *units*) and
+    abstract rate (multipliers on ``base_rate_qps``); the scale maps
+    both onto concrete numbers.  ``heartbeat_period_us`` /
+    ``heartbeat_timeout_us`` / ``request_timeout_us`` are tightened
+    versus the library defaults so failure detection and client
+    retries fit inside short smoke runs.
+    """
+
+    name: str
+    num_jbofs: int
+    ssds_per_jbof: int
+    vnodes_per_ssd: int
+    num_clients: int
+    num_records: int
+    value_size: int
+    base_rate_qps: float
+    #: One phase ``duration`` unit, in µs.
+    phase_unit_us: float
+    #: Quiet tail after the last phase (lets COPY / replay settle).
+    settle_us: float
+    heartbeat_period_us: float
+    heartbeat_timeout_us: float
+    request_timeout_us: float
+    max_inflight: int
+
+
+SCALES: Dict[str, ScenarioScale] = {
+    "smoke": ScenarioScale(
+        name="smoke", num_jbofs=3, ssds_per_jbof=2, vnodes_per_ssd=1,
+        num_clients=2, num_records=240, value_size=128,
+        base_rate_qps=8_000.0, phase_unit_us=60_000.0, settle_us=30_000.0,
+        heartbeat_period_us=5_000.0, heartbeat_timeout_us=15_000.0,
+        request_timeout_us=20_000.0, max_inflight=64),
+    "small": ScenarioScale(
+        name="small", num_jbofs=4, ssds_per_jbof=2, vnodes_per_ssd=1,
+        num_clients=4, num_records=1_200, value_size=1_024,
+        base_rate_qps=20_000.0, phase_unit_us=200_000.0,
+        settle_us=80_000.0,
+        heartbeat_period_us=10_000.0, heartbeat_timeout_us=30_000.0,
+        request_timeout_us=40_000.0, max_inflight=128),
+}
+
+
+@dataclass(frozen=True)
+class Segment:
+    """One piece of a phase's load curve, active from ``frac`` on.
+
+    ``rate`` multiplies the scale's ``base_rate_qps``; ``skew``, when
+    set, switches the Zipfian constant from this point (a hot-key
+    storm is a skew shift, not just a rate spike).
+    """
+
+    frac: float
+    rate: float
+    skew: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A scheduled environment action inside a phase.
+
+    ``action`` names an entry in
+    :data:`repro.scenarios.injectors.ACTIONS`; ``params`` is a frozen
+    kwargs tuple (use :func:`inject`).
+    """
+
+    frac: float
+    action: str
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def kwargs(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+def inject(frac: float, action: str, **params) -> Injection:
+    """Sugar: ``inject(0.25, "crash", index=1)``."""
+    return Injection(frac, action, tuple(sorted(params.items())))
+
+
+@dataclass(frozen=True)
+class Phase:
+    """A named stretch of scenario time."""
+
+    name: str
+    #: Length in scale ``phase_unit_us`` units.
+    duration: float = 1.0
+    segments: Tuple[Segment, ...] = (Segment(0.0, 1.0),)
+    injections: Tuple[Injection, ...] = ()
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Reactive scaling policy (see :mod:`repro.scenarios.autoscaler`).
+
+    Scale out when the rolling p99 exceeds ``p99_high_us``; scale back
+    in when it drops below ``p99_low_us`` *and* energy per op says the
+    extra JBOF is idle overhead.
+    """
+
+    check_interval_us: float = 10_000.0
+    p99_high_us: float = 2_000.0
+    p99_low_us: float = 600.0
+    max_extra_jbofs: int = 1
+    cooldown_us: float = 30_000.0
+    #: Rolling latency-sample window the p99 is computed over.
+    window: int = 256
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete scenario definition."""
+
+    name: str
+    description: str
+    phases: Tuple[Phase, ...]
+    workload: str = "B"
+    skew: float = 0.99
+    #: None = inherit the runner's --protocol / default.
+    replication_protocol: Optional[str] = None
+    autoscaler: Optional[AutoscalerConfig] = None
+    #: Extra ``ClusterConfig`` overrides, as a frozen kwargs tuple.
+    config_overrides: Tuple[Tuple[str, object], ...] = ()
+
+
+#: Scenario builder registry: name -> zero-arg callable returning a
+#: Scenario.  Module-level by design (it *is* the catalog); mutated
+#: only at import time via :func:`register_scenario`.
+SCENARIO_BUILDERS: Dict[str, Callable[[], Scenario]] = {}
+
+
+def register_scenario(builder: Callable[[], Scenario]):
+    """Decorator: register a scenario builder under its built name."""
+    scenario = builder()
+    _validate(scenario)
+    SCENARIO_BUILDERS[scenario.name] = builder
+    return builder
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Registered scenario names, sorted."""
+    return tuple(sorted(SCENARIO_BUILDERS))
+
+
+def build_scenario(name: str) -> Scenario:
+    """Build + validate one scenario by name."""
+    if name not in SCENARIO_BUILDERS:
+        raise KeyError("unknown scenario %r (have: %s)"
+                       % (name, ", ".join(scenario_names())))
+    scenario = SCENARIO_BUILDERS[name]()
+    _validate(scenario)
+    return scenario
+
+
+def _validate(scenario: Scenario) -> None:
+    if not scenario.phases:
+        raise ValueError("scenario %r has no phases" % scenario.name)
+    if scenario.workload not in SCENARIO_WORKLOADS:
+        raise ValueError(
+            "scenario %r: workload %r not in %s (inserts/RMW break the "
+            "acked-write ledger)" % (scenario.name, scenario.workload,
+                                     SCENARIO_WORKLOADS))
+    if not 0.0 <= scenario.skew < 1.0:
+        raise ValueError("scenario %r: skew %r outside [0, 1) (YCSB "
+                         "Zipfian theta)" % (scenario.name, scenario.skew))
+    seen = set()
+    for phase in scenario.phases:
+        if phase.name in seen:
+            raise ValueError("scenario %r: duplicate phase %r"
+                             % (scenario.name, phase.name))
+        seen.add(phase.name)
+        if phase.duration <= 0:
+            raise ValueError("phase %r: duration must be positive"
+                             % phase.name)
+        if not phase.segments:
+            raise ValueError("phase %r has no load segments" % phase.name)
+        last = -1.0
+        for segment in phase.segments:
+            if not 0.0 <= segment.frac < 1.0:
+                raise ValueError("phase %r: segment frac %r outside [0, 1)"
+                                 % (phase.name, segment.frac))
+            if segment.frac <= last:
+                raise ValueError("phase %r: segment fracs must be strictly "
+                                 "increasing" % phase.name)
+            last = segment.frac
+            if segment.rate < 0:
+                raise ValueError("phase %r: negative rate" % phase.name)
+            if segment.skew is not None and not 0.0 <= segment.skew < 1.0:
+                raise ValueError(
+                    "phase %r: segment skew %r outside [0, 1) (YCSB "
+                    "Zipfian theta)" % (phase.name, segment.skew))
+        if phase.segments[0].frac != 0.0:
+            raise ValueError("phase %r: first segment must start at 0.0"
+                             % phase.name)
+        for injection in phase.injections:
+            if not 0.0 <= injection.frac <= 1.0:
+                raise ValueError("phase %r: injection frac %r outside [0, 1]"
+                                 % (phase.name, injection.frac))

@@ -1,0 +1,352 @@
+"""Scenario execution: build a cluster, play the phases, emit a record.
+
+:func:`run_scenario` is the single entry point the CLI, the examples,
+and the golden-run tests all share.  It deterministically:
+
+1. builds a :class:`~repro.core.cluster.LeedCluster` from the
+   :class:`~repro.scenarios.dsl.ScenarioScale` (serial engine, tight
+   scenario heartbeats, schedule digests on),
+2. preloads the keyspace,
+3. runs every phase — per-client :class:`CurveDriver` traffic plus the
+   phase's scheduled injections, with
+   :meth:`~repro.obs.metrics.MetricsRegistry.set_phase` tagging the
+   metrics stream,
+4. settles, then sweeps every acked key through the
+   :class:`~repro.scenarios.load.WriteLedger` to count lost acked
+   writes (the headline invariant: must be zero),
+5. emits one ``BENCH_scenarios.json``-style record with availability,
+   p99-under-churn, recovery timings (failover + power-loss WAL
+   replay), energy/op, membership-event accounting, and figure /
+   schedule digests.
+
+Determinism contract: the same (scenario, scale, seed, protocol)
+tuple produces a byte-identical record — asserted by
+``tests/test_scenarios.py`` against committed goldens.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import deque
+from typing import Dict, List, Optional, Union
+
+from repro.core.cluster import ClusterConfig, LeedCluster
+from repro.core.jbof import LeedOptions
+from repro.scenarios.autoscaler import Autoscaler
+from repro.scenarios.dsl import (SCALES, Scenario, ScenarioScale,
+                                 build_scenario)
+from repro.scenarios.injectors import ACTIONS
+from repro.scenarios.load import CurveDriver, PhaseStats, WriteLedger
+from repro.sim.rng import RngRegistry
+from repro.workloads.ycsb import YCSBWorkload
+
+#: Sweep reads retry transient failures this many times before the
+#: ledger judges the key (the cluster has settled by then; retries
+#: only paper over a mid-sweep stray timeout, not real data loss).
+SWEEP_RETRIES = 3
+
+
+def canonical_json(payload) -> str:
+    """Stable serialization used for figure digests and artifacts."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+class ScenarioRuntime:
+    """Mutable state shared by drivers, injectors, and the autoscaler
+    during one scenario run."""
+
+    def __init__(self, cluster: LeedCluster, scenario: Scenario,
+                 scale: ScenarioScale, seed: int):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.scenario = scenario
+        self.scale = scale
+        self.seed = seed
+        self.rng = RngRegistry(seed)
+        self.ledger = WriteLedger(scale.value_size)
+        self.notes: List[dict] = []
+        self.power_recoveries: List[dict] = []
+        self.phase_stats: List[PhaseStats] = []
+        self.latency_window = deque(maxlen=1024)
+        self.autoscaler: Optional[Autoscaler] = None
+        self.stopping = False
+        self.sweep_counts: Dict[str, int] = {}
+        self.lost_keys: List[str] = []
+
+    # -- services for injectors / the autoscaler ---------------------------
+
+    def note(self, kind: str, **fields) -> None:
+        """Log one scenario event into the record's ``events`` list."""
+        entry = {"t_us": self.sim.now, "event": kind}
+        entry.update(fields)
+        self.notes.append(entry)
+
+    def record_power_recovery(self, index: int, started_us: float,
+                              outage_us: float, report: dict) -> None:
+        """File a power-blackout recovery report (from the injector)."""
+        self.power_recoveries.append({
+            "jbof": index,
+            "failed_at_us": started_us,
+            "outage_us": outage_us,
+            "report": report,
+        })
+
+    def recent_p99(self) -> Optional[float]:
+        """p99 over the rolling latency window (None until warmed)."""
+        if len(self.latency_window) < 32:
+            return None
+        ordered = sorted(self.latency_window)
+        return ordered[min(int(0.99 * len(ordered)), len(ordered) - 1)]
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self) -> dict:
+        sim, cluster, scale, scenario = (self.sim, self.cluster,
+                                         self.scale, self.scenario)
+        metrics = cluster.metrics
+        metrics.register_gauge(
+            "ring_version", lambda: cluster.control_plane.ring_version)
+        # Scale-in retires a node's vnodes but keeps the husk in
+        # cluster.jbofs (injector indices stay stable), so "active"
+        # means hosting at least one vnode.
+        metrics.register_gauge(
+            "num_jbofs",
+            lambda: sum(1 for node in cluster.jbofs if node.vnodes))
+        metrics.register_gauge("energy_joules", cluster.energy_joules)
+        cluster.start()
+
+        preload = YCSBWorkload(
+            scenario.workload, scale.num_records,
+            value_size=scale.value_size, skew=scenario.skew, seed=self.seed)
+        done = sim.process(cluster.load(list(preload.load_pairs())),
+                           name="scenario.preload")
+        sim.run(until=done)
+
+        if scenario.autoscaler is not None:
+            self.autoscaler = Autoscaler(self, scenario.autoscaler)
+            sim.process(self.autoscaler.run(), name="scenario.autoscaler")
+
+        for phase_index, phase in enumerate(scenario.phases):
+            metrics.set_phase(phase.name)
+            stats = PhaseStats(phase.name)
+            stats.started_at_us = sim.now
+            duration = phase.duration * scale.phase_unit_us
+            procs = []
+            for client_index, client in enumerate(cluster.clients):
+                driver = CurveDriver(
+                    sim, client, scale, scenario, phase.segments, duration,
+                    rng=self.rng.stream("scenario.%s.arrivals.c%d"
+                                        % (phase.name, client_index)),
+                    ledger=self.ledger, writer_index=client_index,
+                    num_writers=len(cluster.clients), stats=stats,
+                    latency_sink=self.latency_window,
+                    workload_seed=((self.seed + 1) * 10_000
+                                   + phase_index * 100 + client_index))
+                procs.append(sim.process(
+                    driver.run(),
+                    name="scenario.%s.c%d" % (phase.name, client_index)))
+            for inj_index, injection in enumerate(phase.injections):
+                procs.append(sim.process(
+                    self._inject(injection, duration),
+                    name="scenario.%s.inject%d" % (phase.name, inj_index)))
+            sim.run(until=sim.all_of(procs))
+            stats.finished_at_us = sim.now
+            self.phase_stats.append(stats)
+            metrics.sample_now()
+        metrics.set_phase(None)
+        # Traffic is over: stop the autoscaler *before* the settle
+        # window, or it reacts to its own scale-in churn (leave-COPY
+        # latency spikes) with a pointless last-second scale-out.
+        self.stopping = True
+
+        if scale.settle_us > 0:
+            sim.run(until=sim.now + scale.settle_us)
+
+        sweep = sim.process(self._sweep(), name="scenario.sweep")
+        sim.run(until=sweep)
+
+        record = self._assemble_record()
+        cluster.shutdown()
+        sim.run()   # drain the heap so the digest covers everything
+        digests = cluster.shard_digests()
+        record["digests"] = {
+            "figure": hashlib.sha256(
+                canonical_json(record).encode("ascii")).hexdigest(),
+            "schedule": digests.get(0),
+        }
+        return record
+
+    def _inject(self, injection, duration_us: float):
+        yield self.sim.timeout(injection.frac * duration_us)
+        action = ACTIONS.get(injection.action)
+        if action is None:
+            raise KeyError("unknown injection action %r (have: %s)"
+                           % (injection.action, ", ".join(sorted(ACTIONS))))
+        yield from action(self, **injection.kwargs())
+
+    def _sweep(self):
+        """Generator: read back every acked key and judge it."""
+        client = self.cluster.clients[0]
+        counts = {"ok": 0, "indeterminate": 0, "lost": 0}
+        for key in self.ledger.acked_keys():
+            result = None
+            for _ in range(SWEEP_RETRIES):
+                result = yield from client.get(key)
+                if getattr(result, "status", None) in ("ok", "not_found"):
+                    break
+            verdict = self.ledger.judge(
+                key, getattr(result, "status", "error"),
+                getattr(result, "value", None))
+            counts[verdict] += 1
+            if verdict == "lost":
+                self.lost_keys.append(key.decode("ascii"))
+        self.sweep_counts = counts
+
+    # -- record assembly ---------------------------------------------------
+
+    def _assemble_record(self) -> dict:
+        cluster, scale, scenario = self.cluster, self.scale, self.scenario
+        events = list(cluster.control_plane.membership_events)
+        event_counts: Dict[str, int] = {}
+        for _, kind, _ in events:
+            event_counts[kind] = event_counts.get(kind, 0) + 1
+
+        failover = []
+        pending: Dict[str, List[float]] = {}
+        for t_us, kind, ident in events:
+            if kind == "failure":
+                pending.setdefault(ident, []).append(t_us)
+            elif kind == "recovered" and pending.get(ident):
+                started = pending[ident].pop(0)
+                failover.append({
+                    "address": ident,
+                    "detected_at_us": started,
+                    "recovered_at_us": t_us,
+                    "recovery_us": t_us - started,
+                })
+        unrecovered = sum(len(v) for v in pending.values())
+
+        latencies: List[float] = []
+        totals = PhaseStats("totals")
+        for stats in self.phase_stats:
+            totals.issued += stats.issued
+            totals.ok += stats.ok
+            totals.failed += stats.failed
+            totals.dropped += stats.dropped
+            latencies.extend(stats.latencies_us)
+        totals.latencies_us = latencies
+        elapsed_us = (self.phase_stats[-1].finished_at_us
+                      - self.phase_stats[0].started_at_us
+                      if self.phase_stats else 0.0)
+        energy = cluster.energy_joules()
+        completed = cluster.total_completed_requests()
+
+        record = {
+            "scenario": scenario.name,
+            "description": scenario.description,
+            "scale": scale.name,
+            "seed": self.seed,
+            "protocol": cluster.config.replication_protocol,
+            "workload": scenario.workload,
+            "phases": [stats.summary() for stats in self.phase_stats],
+            "totals": {
+                "issued": totals.issued,
+                "ok": totals.ok,
+                "failed": totals.failed,
+                "dropped": totals.dropped,
+                "availability": round(totals.availability(), 6),
+                "p50_us": round(totals.percentile_us(0.50), 3),
+                "p99_us": round(totals.percentile_us(0.99), 3),
+                "elapsed_us": elapsed_us,
+                "energy_joules": round(energy, 6),
+                "energy_per_op_uj": round(energy / completed * 1e6, 3)
+                if completed else 0.0,
+                "requests_per_joule": round(completed / energy, 3)
+                if energy > 0 else 0.0,
+            },
+            "invariants": {
+                "lost_acked_writes": self.sweep_counts.get("lost", 0),
+                "lost_keys": self.lost_keys,
+                "acked_keys_checked": sum(self.sweep_counts.values()),
+                "indeterminate_reads":
+                    self.sweep_counts.get("indeterminate", 0),
+                "racy_keys": self.ledger.racy_key_count,
+                "acked_writes": self.ledger.acked_writes,
+                "membership_balanced":
+                    event_counts.get("join_start", 0)
+                    == event_counts.get("join_end", 0)
+                    and event_counts.get("leave_start", 0)
+                    == event_counts.get("leave_end", 0),
+                "unrecovered_failures": unrecovered,
+                "ring_version": cluster.control_plane.ring_version,
+            },
+            "recovery": {
+                "failover": failover,
+                "power": self.power_recoveries,
+            },
+            "membership_event_counts": event_counts,
+            "events": self.notes,
+            "metrics": cluster.metrics.bench_records(scenario.name),
+        }
+        if self.autoscaler is not None:
+            record["autoscaler"] = {
+                "decisions": self.autoscaler.decisions,
+                "final_num_jbofs": sum(
+                    1 for node in cluster.jbofs if node.vnodes),
+            }
+        return record
+
+
+def run_scenario(name: Optional[str] = None, scale: Union[str, ScenarioScale] = "smoke",
+                 seed: int = 0, replication_protocol: Optional[str] = None,
+                 crrs: Optional[bool] = None,
+                 trace_sample_interval: int = 0,
+                 scenario: Optional[Scenario] = None) -> dict:
+    """Run one scenario end to end; returns its BENCH record.
+
+    ``scenario`` lets callers (property tests) pass an ad-hoc
+    :class:`Scenario` instead of a catalog name.  ``crrs`` / ``scale``
+    / ``replication_protocol`` override the scenario's defaults.
+    """
+    if scenario is None:
+        if name is None:
+            raise ValueError("pass a scenario name or a Scenario object")
+        scenario = build_scenario(name)
+    if isinstance(scale, str):
+        if scale not in SCALES:
+            raise KeyError("unknown scale %r (have: %s)"
+                           % (scale, ", ".join(sorted(SCALES))))
+        scale = SCALES[scale]
+    protocol = (replication_protocol or scenario.replication_protocol
+                or "chain")
+    overrides = dict(
+        num_jbofs=scale.num_jbofs,
+        ssds_per_jbof=scale.ssds_per_jbof,
+        vnodes_per_ssd=scale.vnodes_per_ssd,
+        num_clients=scale.num_clients,
+        replication=min(3, scale.num_jbofs * scale.ssds_per_jbof
+                        * scale.vnodes_per_ssd),
+        options=LeedOptions(heartbeat_period_us=scale.heartbeat_period_us),
+        replication_protocol=protocol,
+        seed=seed,
+        heartbeat_timeout_us=scale.heartbeat_timeout_us,
+        trace_sample_interval=trace_sample_interval,
+    )
+    if crrs is not None:
+        overrides["crrs"] = crrs
+    overrides.update(dict(scenario.config_overrides))
+    config = ClusterConfig.from_overrides(**overrides)
+    if config.workers != 0:
+        raise ValueError("scenarios run on the serial engine only "
+                         "(fault injection mutates node objects)")
+    cluster = LeedCluster(config)
+    cluster.enable_schedule_digests()
+    for client in cluster.clients:
+        client.request_timeout_us = scale.request_timeout_us
+    runtime = ScenarioRuntime(cluster, scenario, scale, seed)
+    record = runtime.execute()
+    if trace_sample_interval:
+        record["trace_spans"] = len(cluster.tracer.spans)
+        record["_tracer"] = cluster.tracer
+    return record

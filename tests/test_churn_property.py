@@ -9,12 +9,14 @@ builds on.
 
 import random
 
-from hypothesis import given, settings
+from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.compaction import CompactionConfig, Compactor
 from repro.core.datastore import LeedDataStore, StoreConfig
 from repro.hw.ssd import NVMeSSD, SSDProfile
+from repro.scenarios import (Phase, Scenario, Segment, inject,
+                             run_scenario)
 from repro.sim.core import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -117,3 +119,61 @@ def test_concurrent_writers_with_compaction(seed):
 
     process = sim.process(check())
     sim.run(until=process)
+
+
+# -- randomized scenario composition ------------------------------------------
+#
+# The same property one level up: hypothesis composes whole cluster
+# scenarios from the production DSL — random load curves, skew shifts,
+# and crash / blackout injections — and every composition must keep
+# the acked-write ledger clean.  Compositions are constrained to be
+# *recoverable* (a crash is always paired with a later rejoin of the
+# same JBOF; blackouts stay below the heartbeat timeout's detection
+# horizon only by luck, both paths are legal) so zero lost acked
+# writes is the correct expectation, not just a hopeful one.
+
+FAULTS = st.sampled_from(["none", "crash_rejoin", "power_blackout"])
+
+
+@st.composite
+def scenario_compositions(draw):
+    """A small, always-recoverable random scenario."""
+    rate = draw(st.sampled_from([0.5, 1.0, 1.5]))
+    storm_skew = draw(st.one_of(st.none(), st.sampled_from([0.6, 0.95])))
+    segments = [Segment(0.0, rate)]
+    if storm_skew is not None:
+        segments.append(Segment(0.5, rate * 1.5, skew=storm_skew))
+    fault = draw(FAULTS)
+    jbof = draw(st.integers(min_value=1, max_value=2))
+    injections = ()
+    if fault == "crash_rejoin":
+        crash_at = draw(st.sampled_from([0.1, 0.25]))
+        injections = (inject(crash_at, "crash", index=jbof),
+                      inject(crash_at + 0.5, "rejoin", index=jbof))
+    elif fault == "power_blackout":
+        injections = (inject(0.25, "power_blackout", index=jbof,
+                             outage_us=draw(st.sampled_from(
+                                 [4_000.0, 12_000.0]))),)
+    return Scenario(
+        name="composed",
+        description="hypothesis-composed churn episode",
+        workload=draw(st.sampled_from(["A", "B"])),
+        phases=(
+            Phase("warm", 0.5),
+            Phase("churn", 1.5, segments=tuple(segments),
+                  injections=injections),
+            Phase("cool", 0.5),
+        ))
+
+
+@settings(max_examples=5, deadline=None, derandomize=True,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(composed=scenario_compositions(),
+       seed=st.integers(min_value=0, max_value=3))
+def test_composed_scenarios_never_lose_acked_writes(composed, seed):
+    record = run_scenario(scenario=composed, seed=seed)
+    invariants = record["invariants"]
+    assert invariants["lost_acked_writes"] == 0, invariants["lost_keys"]
+    assert invariants["membership_balanced"]
+    assert invariants["unrecovered_failures"] == 0
+    assert record["totals"]["availability"] > 0.5

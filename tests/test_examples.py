@@ -1,0 +1,51 @@
+"""The example scripts stay runnable and their invariants hold.
+
+``examples/`` is not a package; each script is loaded by file path and
+its ``main()`` executed (the scripts assert their own headline
+invariants — lost acked writes zero — and return their records for the
+extra checks here).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+pytestmark = pytest.mark.scenario
+
+
+def load_example(stem):
+    spec = importlib.util.spec_from_file_location(
+        "examples_" + stem, EXAMPLES_DIR / (stem + ".py"))
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_failover_demo(capsys):
+    record = load_example("failover_demo").main()
+    assert record["invariants"]["lost_acked_writes"] == 0
+    assert record["recovery"]["failover"], "crash was never detected"
+    out = capsys.readouterr().out
+    assert "lost acked writes: 0" in out
+
+
+def test_power_failure_recovery(capsys):
+    record = load_example("power_failure_recovery").main()
+    assert record["invariants"]["lost_acked_writes"] == 0
+    report = record["recovery"]["power"][0]["report"]
+    assert report["objects_recovered"] > 0
+    assert report["scan_duration_us"] > 0
+    assert "lost acked writes: 0" in capsys.readouterr().out
+
+
+def test_hot_key_mitigation(capsys):
+    records = load_example("hot_key_mitigation").main()
+    assert set(records) == {False, True}
+    for record in records.values():
+        assert record["invariants"]["lost_acked_writes"] == 0
+    assert "CRRS" in capsys.readouterr().out

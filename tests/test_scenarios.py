@@ -1,0 +1,259 @@
+"""Golden-run regression suite for the production-scenario library.
+
+Every catalog scenario runs twice at the smoke scale with a fixed
+seed; the suite asserts
+
+* byte-identical records across the two runs (the determinism
+  contract of :func:`repro.scenarios.runner.run_scenario`),
+* figure/schedule digests matching the committed goldens in
+  ``tests/golden_scenarios.json`` (regenerate with
+  ``python -m repro.scenarios golden`` after an intentional
+  schedule-affecting change),
+* the headline invariants: zero lost acked writes, balanced
+  membership episodes, no unrecovered failures,
+
+plus DSL validation, CLI behavior, the failure-burst scenario across
+every replication protocol, and unit coverage for the migration
+stamp guard and the zombie-write deadline.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.jbof import JBOFNode, VNodeStats
+from repro.core.replication import protocol_names
+from repro.scenarios import (Phase, Scenario, Segment, build_scenario,
+                             inject, run_scenario, scenario_names)
+from repro.scenarios.cli import main as scenarios_main
+from repro.scenarios.load import MIN_VALUE_SIZE, WriteLedger
+from repro.scenarios.runner import canonical_json
+
+GOLDEN_PATH = Path(__file__).parent / "golden_scenarios.json"
+PY_VERSION = "%d.%d" % sys.version_info[:2]
+
+pytestmark = pytest.mark.scenario
+
+#: (scenario name) -> [record of run 1, record of run 2]; filled
+#: lazily so each scenario simulates at most twice for the module.
+_CACHE = {}
+
+
+def records_for(name):
+    if name not in _CACHE:
+        _CACHE[name] = [run_scenario(name), run_scenario(name)]
+    return _CACHE[name]
+
+
+def golden_digests():
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle).get(PY_VERSION)
+
+
+# -- golden-run determinism ---------------------------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_double_run_byte_identical(name):
+    """Same (scenario, scale, seed, protocol) => byte-identical record."""
+    first, second = records_for(name)
+    assert canonical_json(first) == canonical_json(second)
+    assert first["digests"]["schedule"] == second["digests"]["schedule"]
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_digests_match_golden(name):
+    golden = golden_digests()
+    if golden is None or name not in golden:
+        pytest.skip("no golden for python %s; run "
+                    "`python -m repro.scenarios golden`" % PY_VERSION)
+    record = records_for(name)[0]
+    assert record["digests"] == golden[name], (
+        "scenario %r drifted from its golden digests; if the change "
+        "is intentional, regenerate with `python -m repro.scenarios "
+        "golden`" % name)
+
+
+def test_golden_file_covers_catalog():
+    golden = golden_digests()
+    if golden is None:
+        pytest.skip("no golden for python %s" % PY_VERSION)
+    missing = [n for n in scenario_names() if n not in golden]
+    assert not missing, "goldens missing for %s" % missing
+
+
+# -- invariants ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_no_lost_acked_writes(name):
+    invariants = records_for(name)[0]["invariants"]
+    assert invariants["lost_acked_writes"] == 0, invariants["lost_keys"]
+    assert invariants["acked_keys_checked"] > 0
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_membership_episodes_balanced(name):
+    invariants = records_for(name)[0]["invariants"]
+    assert invariants["membership_balanced"]
+    assert invariants["unrecovered_failures"] == 0
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_record_shape(name):
+    record = records_for(name)[0]
+    assert record["scenario"] == name
+    assert record["phases"], "no per-phase stats"
+    assert 0.0 < record["totals"]["availability"] <= 1.0
+    assert record["totals"]["energy_per_op_uj"] > 0
+    assert record["digests"]["figure"]
+    assert record["digests"]["schedule"]
+
+
+def test_failure_burst_reports_recovery_timings():
+    record = records_for("failure_burst")[0]
+    assert record["recovery"]["failover"], "no failover episode recorded"
+    for episode in record["recovery"]["failover"]:
+        assert episode["recovery_us"] > 0
+    assert record["recovery"]["power"], "no power blackout recorded"
+    blackout = record["recovery"]["power"][0]
+    assert blackout["report"]["scan_duration_us"] > 0
+    # The capacitor-backed WAL replay is part of the record: every
+    # pending intent was either re-proposed or proven durable.
+    wal = blackout["report"]["wal"]
+    assert wal["failed"] == 0
+    assert wal["replayed"] + wal["skipped"] == wal["pending"]
+
+
+def test_autoscale_scales_out_and_back_in():
+    record = records_for("autoscale")[0]
+    actions = [d["action"] for d in record["autoscaler"]["decisions"]]
+    assert "scale_out" in actions
+    assert "scale_in" in actions
+    assert record["autoscaler"]["final_num_jbofs"] == 3
+
+
+# -- protocol matrix ----------------------------------------------------------
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("protocol", protocol_names())
+def test_failure_burst_per_protocol(protocol):
+    """The failure-burst episode loses no acked write under any
+    registered replication protocol."""
+    record = run_scenario("failure_burst", replication_protocol=protocol)
+    assert record["protocol"] == protocol
+    assert record["invariants"]["lost_acked_writes"] == 0, (
+        protocol, record["invariants"]["lost_keys"])
+    assert record["invariants"]["membership_balanced"]
+
+
+# -- DSL validation -----------------------------------------------------------
+
+
+def _scenario(**kwargs):
+    base = dict(name="t", description="t",
+                phases=(Phase("only", 1.0),))
+    base.update(kwargs)
+    return Scenario(**base)
+
+
+def test_build_scenario_unknown_name():
+    with pytest.raises(KeyError, match="unknown scenario"):
+        build_scenario("no_such_scenario")
+
+
+@pytest.mark.parametrize("bad", [
+    _scenario(phases=()),
+    _scenario(workload="D"),
+    _scenario(skew=1.1),
+    _scenario(phases=(Phase("a"), Phase("a"))),
+    _scenario(phases=(Phase("a", duration=0.0),)),
+    _scenario(phases=(Phase("a", segments=()),)),
+    _scenario(phases=(Phase("a", segments=(Segment(0.5, 1.0),)),)),
+    _scenario(phases=(Phase("a", segments=(Segment(0.0, 1.0),
+                                           Segment(0.0, 2.0))),)),
+    _scenario(phases=(Phase("a", segments=(Segment(0.0, -1.0),)),)),
+    _scenario(phases=(Phase("a", segments=(Segment(0.0, 1.0, skew=1.5),)),)),
+    _scenario(phases=(Phase("a", injections=(inject(1.5, "crash"),)),)),
+])
+def test_validation_rejects_malformed_scenarios(bad):
+    from repro.scenarios.dsl import _validate
+    with pytest.raises(ValueError):
+        _validate(bad)
+
+
+def test_run_scenario_rejects_unknown_scale_and_injection():
+    with pytest.raises(KeyError, match="unknown scale"):
+        run_scenario("diurnal", scale="galactic")
+    broken = _scenario(phases=(
+        Phase("a", duration=0.05,
+              injections=(inject(0.0, "meteor_strike"),)),))
+    with pytest.raises(KeyError, match="unknown injection action"):
+        run_scenario(scenario=broken)
+
+
+def test_ledger_rejects_tiny_values():
+    with pytest.raises(ValueError):
+        WriteLedger(MIN_VALUE_SIZE - 1)
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def test_cli_list(capsys):
+    assert scenarios_main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in scenario_names():
+        assert name in out
+
+
+def test_cli_unknown_scenario():
+    with pytest.raises(SystemExit):
+        scenarios_main(["run", "no_such_scenario"])
+
+
+def test_cli_run_writes_bench_record(tmp_path, capsys):
+    out_path = tmp_path / "BENCH_scenarios.json"
+    assert scenarios_main(["run", "diurnal",
+                           "--output", str(out_path)]) == 0
+    records = json.loads(out_path.read_text())
+    assert len(records) == 1
+    assert records[0]["scenario"] == "diurnal"
+    assert records[0]["invariants"]["lost_acked_writes"] == 0
+    assert "avail=" in capsys.readouterr().out
+
+
+# -- migration stamp guard (the COPY-vs-mirror race fix) ----------------------
+
+
+def _fresh_runtime():
+    return SimpleNamespace(migration_stamps={}, stats=VNodeStats())
+
+
+def test_migration_guard_refuses_stale_snapshot():
+    """A COPY scan pair buffered across a newer mirrored write must
+    not roll the key back (the lost-acked-write race the scenario
+    suite caught)."""
+    node = SimpleNamespace()
+    runtime = _fresh_runtime()
+    fresh = JBOFNode._migration_apply_fresh
+    assert fresh(node, runtime, b"k", 3)        # scan pair, version 3
+    assert fresh(node, runtime, b"k", 4)        # mirror of a newer commit
+    assert not fresh(node, runtime, b"k", 3)    # late buffered snapshot
+    assert runtime.stats.copies_stale == 1
+    assert fresh(node, runtime, b"k", 4)        # equal stamp re-applies
+    assert fresh(node, runtime, b"k", 5)
+
+
+def test_migration_guard_unversioned_pairs_pass():
+    node = SimpleNamespace()
+    runtime = _fresh_runtime()
+    assert JBOFNode._migration_apply_fresh(node, runtime, b"k", None)
+    assert JBOFNode._migration_apply_fresh(node, runtime, b"k", None)
+    assert runtime.stats.copies_stale == 0
