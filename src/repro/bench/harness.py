@@ -36,6 +36,7 @@ from repro.workloads.ycsb import YCSBWorkload, make_key, make_value
 
 QUICK = "quick"
 FULL = "full"
+XLARGE = "xlarge"
 
 
 @dataclass
@@ -65,6 +66,27 @@ def scale_profile(scale: str = QUICK, value_size: int = 1024) -> ScaleProfile:
             ssd_capacity_bytes=96 << 20,
             key_log_bytes=4 << 20,
             value_log_bytes=24 << 20,
+        )
+    if scale == XLARGE:
+        # Rack-scale geometry for the perf suite's 10^6-key tier: the
+        # ``full`` rings are sized for thousands of keys per partition
+        # and a million-key load appends an order of magnitude more
+        # segment-blob churn than key-log compaction can reclaim
+        # through a 16 MB ring (LogFullError mid-load).  Live state
+        # per partition is ~8 MB of segments + ~30 MB of values, so
+        # these rings keep fill fractions in compaction's comfortable
+        # range.  Flash is dict-backed sparse storage, so the larger
+        # regions only cost what is actually written.
+        return ScaleProfile(
+            num_records=1_000_000,
+            num_ops=100_000,
+            concurrency=256,
+            ssd_capacity_bytes=2 << 30,
+            key_log_bytes=64 << 20,
+            value_log_bytes=256 << 20,
+            num_segments=4096,
+            num_jbofs=16,
+            num_clients=64,
         )
     return ScaleProfile(
         num_records=4000,

@@ -52,6 +52,13 @@ VALUE_SIZE = 256
 #: scale -> run shape.  The ``default`` and ``smoke`` shapes must match
 #: ``perf_baseline.json``; ``large`` exists for parallel-engine speedup
 #: measurements and is intentionally absent from the frozen baseline.
+#: ``xlarge`` is the rack-scale tier (16 JBOFs, 64 clients, 10^6 keys,
+#: 10^5 ops) backing the fig6/fig13-style claims; it runs the ``xlarge``
+#: store geometry (64 MB key / 256 MB value rings, 4096 segments) so
+#: three replicas of the keyspace fit with compaction headroom, and
+#: pins YCSB-B only — the other workloads add hours, not coverage.
+#: ``xlarge-smoke`` keeps the 16-JBOF/64-client geometry at CI-sized
+#: record/op counts for worker-count digest cross-checks.
 SCALES = {
     "default": {"records": 600, "ops": 3000, "concurrency": 24,
                 "num_jbofs": 3, "num_clients": 2},
@@ -59,6 +66,12 @@ SCALES = {
               "num_jbofs": 3, "num_clients": 2},
     "large": {"records": 2000, "ops": 20000, "concurrency": 64,
               "num_jbofs": 4, "num_clients": 8},
+    "xlarge": {"records": 1_000_000, "ops": 100_000, "concurrency": 256,
+               "num_jbofs": 16, "num_clients": 64, "profile": "xlarge",
+               "load_parallelism": 64, "workloads": ("B",)},
+    "xlarge-smoke": {"records": 1200, "ops": 2400, "concurrency": 64,
+                     "num_jbofs": 16, "num_clients": 64,
+                     "workloads": ("B",)},
 }
 
 #: scales captured in perf_baseline.json (``--rebaseline`` rewrites
@@ -101,9 +114,14 @@ def run_once(workload_name: str, spec: dict, options,
 
     Only the run phase is timed — cluster build and YCSB load are
     setup.  Events/sec counts simulator events dispatched during the
-    run phase (summed across shards when ``workers > 0``).
+    run phase (summed across shards when ``workers > 0``).  When
+    ``workers > 0`` the row also carries the engine's exchange
+    counters (windows, elided shard-windows, pipe round-trips, shm
+    bytes) deltaed over the run phase — these are wall-clock-side
+    diagnostics and deliberately stay out of ``figure_digest``.
     """
-    cluster = build_cluster("leed", scale="quick", value_size=VALUE_SIZE,
+    cluster = build_cluster("leed", scale=spec.get("profile", "quick"),
+                            value_size=VALUE_SIZE,
                             seed=SEED, options=options,
                             num_nodes=spec["num_jbofs"],
                             num_clients=spec["num_clients"],
@@ -114,13 +132,16 @@ def run_once(workload_name: str, spec: dict, options,
         cluster.enable_schedule_digests()
     workload = YCSBWorkload(workload_name, num_records=spec["records"],
                             seed=SEED, value_size=VALUE_SIZE)
-    load_cluster(cluster, workload, parallelism=16)
+    load_cluster(cluster, workload,
+                 parallelism=spec.get("load_parallelism", 16))
     events_before = cluster.total_events_dispatched()
+    exchange_before = cluster.exchange_stats()
     started = time.perf_counter()
     stats = run_closed_loop(cluster, workload, spec["ops"],
                             spec["concurrency"])
     wall_s = time.perf_counter() - started
     events = cluster.total_events_dispatched() - events_before
+    exchange_after = cluster.exchange_stats()
     cluster.shutdown()
     cluster.sim.run()
     row = {
@@ -140,16 +161,39 @@ def run_once(workload_name: str, spec: dict, options,
     row["figure_digest"] = figure_digest(row)
     if workers > 0:
         row["shard_digests"] = cluster.shard_digests()
+    if exchange_after is not None:
+        exchange = {key: exchange_after[key] - exchange_before.get(key, 0)
+                    for key in exchange_after}
+        sim_seconds = stats.elapsed_us / 1e6
+        # Barrier-cost visibility on 1-CPU boxes: fewer pipe
+        # round-trips (and windows) per simulated second is the win
+        # barrier elision buys even when there is no parallelism.
+        exchange["windows_per_sim_sec"] = round(
+            exchange["windows"] / sim_seconds, 1) if sim_seconds else 0.0
+        exchange["child_messages_per_sim_sec"] = round(
+            exchange["child_messages"] / sim_seconds, 1) if sim_seconds else 0.0
+        row["exchange"] = exchange
     cluster.stop_workers()
     return row
 
 
-def measure_scale(scale: str, trials: int, workers: int = 0) -> dict:
+def scale_workloads(scale: str, requested=None) -> tuple:
+    """Workloads to run for ``scale``: the CLI filter if given, else
+    the scale's own pin (xlarge runs YCSB-B only), else all three."""
+    allowed = tuple(SCALES[scale].get("workloads", WORKLOADS))
+    if requested:
+        return tuple(name for name in requested if name in allowed) or allowed
+    return allowed
+
+
+def measure_scale(scale: str, trials: int, workers: int = 0,
+                  workloads=None) -> dict:
     """Interleaved best-of-N knobs-off vs knobs-on rows per workload."""
     spec = SCALES[scale]
-    best = {name: {"baseline": None, "fast": None} for name in WORKLOADS}
+    names = scale_workloads(scale, workloads)
+    best = {name: {"baseline": None, "fast": None} for name in names}
     for trial in range(trials):
-        for name in WORKLOADS:
+        for name in names:
             for mode, options in (("baseline", None), ("fast", fast_options())):
                 row = run_once(name, spec, options, workers=workers)
                 row["trials"] = trials
@@ -173,7 +217,7 @@ def summarize(scale: str, best: dict, frozen: dict) -> dict:
     """Attach frozen-baseline numbers, speedups, and latency parity."""
     frozen_rows = frozen.get("scales", {}).get(scale, {})
     report = {}
-    for name in WORKLOADS:
+    for name in best:
         baseline = best[name]["baseline"]
         fast = best[name]["fast"]
         entry = {"baseline": baseline, "fast": fast}
@@ -203,6 +247,10 @@ def check_regressions(report: dict) -> list:
     """Rows failing the ``--check`` floor, as human-readable strings."""
     failures = []
     for name, entry in report.items():
+        # Failed ops are a correctness signal, so they gate every
+        # scale — including ones with no frozen throughput row.
+        if entry["fast"]["failed"] or entry["baseline"]["failed"]:
+            failures.append("%s: run reported failed operations" % name)
         frozen_ops = entry.get("frozen_baseline_ops_per_sec")
         if frozen_ops is None:
             continue
@@ -212,8 +260,6 @@ def check_regressions(report: dict) -> list:
                 "%s: fast datapath %.0f ops/s is below %.0f%% of the "
                 "frozen baseline %.0f ops/s"
                 % (name, fast_ops, CHECK_FLOOR * 100, frozen_ops))
-        if entry["fast"]["failed"] or entry["baseline"]["failed"]:
-            failures.append("%s: run reported failed operations" % name)
     return failures
 
 
@@ -259,13 +305,18 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="run the CI-sized smoke scale only "
                              "(alias for --scale smoke)")
-    parser.add_argument("--scale", choices=tuple(SCALES),
-                        help="run a single scale; without this (or "
-                             "--smoke) the frozen-baseline scales run")
+    parser.add_argument("--scale", choices=tuple(SCALES), action="append",
+                        help="run this scale (repeatable); without it "
+                             "(or --smoke) the frozen-baseline scales "
+                             "run")
     parser.add_argument("--workers", type=int, default=0,
                         help="partition-parallel engine worker count "
                              "(0 = classic serial engine; 1 = sharded "
                              "in-process; N>=2 = forked workers)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated workload filter, e.g. "
+                             "'B' or 'B,WR' (default: all the scale "
+                             "allows)")
     parser.add_argument("--check", action="store_true",
                         help="exit nonzero if throughput regresses more "
                              "than %d%% below the frozen baseline"
@@ -280,13 +331,22 @@ def main(argv=None) -> int:
                              "rewrite perf_baseline.json")
     args = parser.parse_args(argv)
 
+    workloads = None
+    if args.workloads:
+        workloads = tuple(name.strip() for name in args.workloads.split(",")
+                          if name.strip())
+        unknown = [name for name in workloads if name not in WORKLOADS]
+        if unknown:
+            parser.error("unknown workloads: %s (choose from %s)"
+                         % (",".join(unknown), ",".join(WORKLOADS)))
+
     if args.rebaseline:
         rebaseline(args.trials)
         return 0
 
     frozen = load_frozen_baseline()
     if args.scale:
-        scales = (args.scale,)
+        scales = tuple(args.scale)
     elif args.smoke:
         scales = ("smoke",)
     else:
@@ -303,10 +363,13 @@ def main(argv=None) -> int:
     for scale in scales:
         spec = SCALES[scale]
         print("scale %s (%d records, %d ops, %d concurrency, %d jbofs, "
-              "%d clients, workers=%d)"
+              "%d clients, profile=%s, workloads=%s, workers=%d)"
               % (scale, spec["records"], spec["ops"], spec["concurrency"],
-                 spec["num_jbofs"], spec["num_clients"], args.workers))
-        best = measure_scale(scale, args.trials, workers=args.workers)
+                 spec["num_jbofs"], spec["num_clients"],
+                 spec.get("profile", "quick"),
+                 ",".join(scale_workloads(scale, workloads)), args.workers))
+        best = measure_scale(scale, args.trials, workers=args.workers,
+                             workloads=workloads)
         report["scales"][scale] = summarize(scale, best, frozen)
 
     with open(args.output, "w") as handle:

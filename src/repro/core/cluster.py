@@ -252,6 +252,29 @@ class LeedCluster:
         if self.engine is not None:
             self.engine.stop_workers()
 
+    def settle_shards(self) -> None:
+        """Complete the global cut at shard 0's clock (no-op serially).
+
+        After ``sim.run(until=event)`` under the parallel engine, other
+        shards may still hold undispatched events earlier than shard
+        0's clock.  Mid-run samplers (scenario gauges, energy meters)
+        call this first so they observe the same cut a serial run
+        would: everything strictly before ``sim.now`` executed, and
+        every shard clock advanced to ``sim.now``.
+        """
+        if self.engine is not None:
+            self.engine.settle(self.sim.now)
+
+    def exchange_stats(self) -> Optional[Dict[str, int]]:
+        """Barrier/exchange counters from the parallel engine.
+
+        ``None`` on the serial engine.  See
+        :class:`repro.sim.parallel.ExchangeStats` for the fields.
+        """
+        if self.engine is None:
+            return None
+        return self.engine.stats.as_dict()
+
     def __enter__(self) -> "LeedCluster":
         self.start()
         return self
@@ -275,6 +298,21 @@ class LeedCluster:
                 "scenario fault injection needs workers == 0: node state "
                 "lives in worker processes under the parallel engine")
         return self.jbofs[index]
+
+    def _elastic_guard(self) -> None:
+        """Elasticity (add/remove JBOF) is sound up to ``workers == 1``.
+
+        Unlike physical fault injection — which mutates a remote node's
+        state at shard 0's clock and would diverge from the serial
+        schedule — elasticity is driven through shard-0 construction
+        and control-plane RPC.  ``workers >= 2`` stays forbidden: the
+        forked processes' object graphs cannot grow a new shard.
+        """
+        if self.config.workers > 1 or (
+                self.engine is not None and self.engine.forked):
+            raise ValueError(
+                "scenario elasticity needs workers <= 1: forked workers' "
+                "shard plans are fixed at construction")
 
     def crash_jbof(self, index: int) -> str:
         """Fail-stop JBOF ``index`` (heartbeats cease, traffic drops).
@@ -355,11 +393,15 @@ class LeedCluster:
         the cluster's stock geometry, registers it JOINING, then joins
         each vnode (COPY migrates the gained ranges in).  Returns the
         new node.
+
+        Allowed up to ``workers == 1``: the sharded-but-in-process
+        engine owns every object, and the new node lands on shard 0
+        (the shard map defaults unlisted addresses there).  Attaching
+        its NIC bumps the network's topology version, which makes the
+        engine refresh its lookahead matrix — a joining NIC pair with
+        a smaller cross-shard delay must tighten the windows.
         """
-        if self.config.workers > 0:
-            raise ValueError(
-                "scenario elasticity needs workers == 0: the shard plan "
-                "is fixed at construction under the parallel engine")
+        self._elastic_guard()
         config = self.config
         index = len(self.jbofs)
         node = config.node_class(
@@ -384,9 +426,12 @@ class LeedCluster:
         leaves gracefully (data migrates away), the runtimes are
         retired, and the node stops its background loops.  The node
         object stays attached (idle) — rejoining later means fresh
-        joins.
+        joins.  Like :meth:`add_jbof`, allowed up to ``workers == 1``;
+        the drain and stop travel over control-plane RPC, and the only
+        direct node access is reading its vnode set.
         """
-        node = self._injection_target(index)
+        self._elastic_guard()
+        node = self.jbofs[index]
         for vnode_id in sorted(node.vnodes):
             if vnode_id in self.control_plane.vnodes:
                 yield from self.control_plane.remove_vnode(vnode_id)

@@ -192,6 +192,14 @@ class Network:
         #: in transmit order.  The parallel engine collects these at
         #: every window barrier (:meth:`take_boundary`).
         self.boundary: List[MessageRecord] = []
+        #: Bumped whenever the NIC set or the shard map changes; the
+        #: lookahead matrix below (and the parallel engine's copy of it)
+        #: is cached against this counter.
+        self._topology_version = 0
+        self._lookahead_version: Optional[int] = None
+        self._lookahead_matrix: Dict[Tuple[int, int], float] = {}
+        self._lookahead_tx: Dict[int, float] = {}
+        self._lookahead_rx: Dict[int, float] = {}
 
     def attach(self, address: str, profile: Optional[NicProfile] = None,
                sim: Optional[Simulator] = None) -> Nic:
@@ -204,7 +212,13 @@ class Network:
             raise ValueError("address %r already attached" % address)
         nic = Nic(sim or self.sim, address, profile)
         self._nics[address] = nic
+        self._topology_version += 1
         return nic
+
+    @property
+    def topology_version(self) -> int:
+        """Counter tracking NIC attachments and shard-map changes."""
+        return self._topology_version
 
     # -- sharding ----------------------------------------------------------------
 
@@ -220,6 +234,7 @@ class Network:
         self._sims = dict(sims)
         self._pumps = {sid: DeliveryPump(sim, self)
                        for sid, sim in self._sims.items()}
+        self._topology_version += 1
 
     def shard_of(self, address: str) -> int:
         """Shard id owning ``address`` (0 unless configured otherwise)."""
@@ -234,30 +249,73 @@ class Network:
         """Hand a (possibly remote-born) record to its destination pump."""
         self._pumps[self._shard_of.get(record[1], 0)].insert(record)
 
-    def min_cross_shard_delay_us(self) -> float:
-        """Conservative lookahead: the smallest cross-shard delay.
+    def cross_shard_lookahead(self) -> Dict[Tuple[int, int], float]:
+        """Per-shard-pair lookahead matrix ``L[(src, dst)]``.
 
-        A message sent between shards at time ``u`` is delivered no
-        earlier than ``u`` plus one byte of transmit serialization, the
-        sender's base latency, the switch hop, and one byte of receive
-        serialization.  :meth:`transmit` can only add to each term
-        (pacer backlog, real sizes, the in-order clamp), so this bound
-        is a safe window size for the conservative parallel engine.
-        Returns +inf when no NIC pair crosses a shard boundary.
+        ``L[(s, d)]`` is the smallest possible delivery delay of any
+        message sent from a NIC on shard ``s`` to a NIC on shard ``d``:
+        one byte of transmit serialization plus the sender's base
+        latency (minimized over ``s``'s NICs), the switch hop, and one
+        byte of receive serialization (minimized over ``d``'s NICs).
+        :meth:`transmit` can only add to each term (pacer backlog, real
+        sizes, the in-order clamp), so ``neighbor_horizon + L[(s, d)]``
+        is a safe window end for shard ``d`` in the conservative
+        parallel engine.  Because every entry has the separable form
+        ``a_src + hop + b_dst``, the matrix obeys the triangle
+        inequality — a relayed influence can never undercut the direct
+        bound.
+
+        The matrix is cached per :attr:`topology_version` (attaching a
+        NIC or re-sharding invalidates it) so callers can hit it every
+        window without an O(NICs²) rescan.  Callers must not mutate the
+        returned dict.
         """
-        best = float("inf")
-        for src, sender in self._nics.items():
-            src_shard = self._shard_of.get(src, 0)
-            fixed = (1.0 / sender.profile.bandwidth_bpus
-                     + sender.profile.base_latency_us
-                     + self.switch.hop_latency_us)
-            for dst, receiver in self._nics.items():
-                if self._shard_of.get(dst, 0) == src_shard:
-                    continue
-                delay = fixed + 1.0 / receiver.profile.bandwidth_bpus
-                if delay < best:
-                    best = delay
-        return best
+        if self._lookahead_version != self._topology_version:
+            tx_min: Dict[int, float] = {}
+            rx_min: Dict[int, float] = {}
+            inf = float("inf")
+            for address, nic in self._nics.items():
+                shard = self._shard_of.get(address, 0)
+                tx = (1.0 / nic.profile.bandwidth_bpus
+                      + nic.profile.base_latency_us)
+                rx = 1.0 / nic.profile.bandwidth_bpus
+                if tx < tx_min.get(shard, inf):
+                    tx_min[shard] = tx
+                if rx < rx_min.get(shard, inf):
+                    rx_min[shard] = rx
+            hop = self.switch.hop_latency_us
+            self._lookahead_tx = {shard: tx + hop
+                                  for shard, tx in tx_min.items()}
+            self._lookahead_rx = rx_min
+            self._lookahead_matrix = {
+                (src, dst): (tx_min[src] + hop) + rx_min[dst]
+                for src in tx_min for dst in rx_min if src != dst}
+            self._lookahead_version = self._topology_version
+        return self._lookahead_matrix
+
+    def cross_shard_lookahead_parts(self) -> Tuple[Dict[int, float],
+                                                   Dict[int, float]]:
+        """The separable halves of :meth:`cross_shard_lookahead`.
+
+        Returns ``(tx, rx)`` per-shard dicts with
+        ``L[(s, d)] == tx[s] + rx[d]`` (``tx`` folds in the switch
+        hop).  The separable form is what lets the parallel engine
+        compute chain-safe earliest-input times in O(shards) per
+        window instead of relaxing the full pair matrix.  Cached with
+        the matrix; callers must not mutate the returned dicts.
+        """
+        self.cross_shard_lookahead()
+        return self._lookahead_tx, self._lookahead_rx
+
+    def min_cross_shard_delay_us(self) -> float:
+        """Smallest entry of :meth:`cross_shard_lookahead`.
+
+        The single conservative window size used before per-pair
+        lookahead existed; kept as the cheap scalar summary.  Returns
+        +inf when no NIC pair crosses a shard boundary.
+        """
+        matrix = self.cross_shard_lookahead()
+        return min(matrix.values()) if matrix else float("inf")
 
     def nic(self, address: str) -> Nic:
         return self._nics[address]

@@ -19,11 +19,20 @@ from typing import Callable, Dict
 #: Module-level by design; mutated only at import time.
 ACTIONS: Dict[str, Callable] = {}
 
+#: Largest ``workers`` setting each action tolerates.  Physical
+#: injections (crash, power loss, in-place upgrade) mutate node
+#: objects directly and need the serial engine (0); membership
+#: elasticity (add/remove JBOF) goes over control-plane RPC but
+#: changes the shard plan, so it works sharded in-process (1) yet
+#: never with forked workers whose plans are fixed at the fork.
+ACTION_MAX_WORKERS: Dict[str, int] = {}
 
-def register_action(name: str):
+
+def register_action(name: str, max_workers: int = 0):
     """Decorator: register an injection action under ``name``."""
     def wrap(fn):
         ACTIONS[name] = fn
+        ACTION_MAX_WORKERS[name] = max_workers
         return fn
     return wrap
 
@@ -98,14 +107,14 @@ def rolling_upgrade(rt, version: str = "v2", pause_us: float = 0.0):
             duration_us=rt.sim.now - started)
 
 
-@register_action("add_jbof")
+@register_action("add_jbof", max_workers=1)
 def add_jbof(rt):
     """Provision one extra JBOF and join its vnodes (scale-out)."""
     node = yield from rt.cluster.add_jbof()
     rt.note("add_jbof", address=node.address)
 
 
-@register_action("remove_jbof")
+@register_action("remove_jbof", max_workers=1)
 def remove_jbof(rt, index: int):
     """Drain and power down one JBOF (scale-in)."""
     yield from rt.cluster.remove_jbof(index)

@@ -18,9 +18,10 @@ import pytest
 from repro.bench.harness import (build_cluster, latency_summary,
                                  load_cluster, run_closed_loop)
 from repro.core.cluster import LeedCluster
-from repro.net.topology import NIC_100G, Network, SwitchProfile
+from repro.net.topology import (NIC_100G, NIC_1G_USB, Network,
+                                SwitchProfile)
 from repro.sim.core import Simulator
-from repro.sim.parallel import ShardPlan
+from repro.sim.parallel import ParallelEngine, ShardPlan
 from repro.workloads.ycsb import YCSBWorkload
 
 SEED = 13
@@ -153,6 +154,150 @@ class TestNetworkSharding:
             network.inject((5.0, "b", "a", 1, 64, "late"))
 
 
+class TestLookaheadMatrix:
+    """Per-pair lookahead: exact values, separable parts, caching."""
+
+    def _fabric(self):
+        sims = {0: Simulator(), 1: Simulator(), 2: Simulator()}
+        network = Network(sims[0])
+        network.attach("cp", NIC_100G, sim=sims[0])
+        network.attach("slow", NIC_1G_USB, sim=sims[1])
+        network.attach("fast", NIC_100G, sim=sims[2])
+        network.configure_shards({"cp": 0, "slow": 1, "fast": 2}, sims)
+        return network, sims
+
+    @staticmethod
+    def _tx(profile):
+        return 1.0 / profile.bandwidth_bpus + profile.base_latency_us
+
+    @staticmethod
+    def _rx(profile):
+        return 1.0 / profile.bandwidth_bpus
+
+    def test_asymmetric_pairs_exact(self):
+        network, _ = self._fabric()
+        hop = SwitchProfile().hop_latency_us
+        matrix = network.cross_shard_lookahead()
+        assert set(matrix) == {(s, d) for s in (0, 1, 2)
+                               for d in (0, 1, 2) if s != d}
+        assert matrix[(0, 1)] == pytest.approx(
+            self._tx(NIC_100G) + hop + self._rx(NIC_1G_USB))
+        assert matrix[(1, 2)] == pytest.approx(
+            self._tx(NIC_1G_USB) + hop + self._rx(NIC_100G))
+        assert matrix[(0, 2)] == pytest.approx(
+            self._tx(NIC_100G) + hop + self._rx(NIC_100G))
+        # Direction matters: leaving the USB-NIC shard pays its big
+        # base latency, entering it only pays its serialization.
+        assert matrix[(1, 0)] > matrix[(0, 1)]
+        assert network.min_cross_shard_delay_us() == min(matrix.values())
+
+    def test_parts_compose_to_matrix(self):
+        network, _ = self._fabric()
+        tx, rx = network.cross_shard_lookahead_parts()
+        matrix = network.cross_shard_lookahead()
+        for (src, dst), value in matrix.items():
+            assert tx[src] + rx[dst] == value
+
+    def test_cached_until_topology_changes(self):
+        network, sims = self._fabric()
+        first = network.cross_shard_lookahead()
+        assert network.cross_shard_lookahead() is first
+        version = network.topology_version
+        network.attach("joiner", NIC_100G, sim=sims[1])
+        assert network.topology_version > version
+        assert network.cross_shard_lookahead() is not first
+
+    def test_post_join_recompute_tightens_pairs(self):
+        network, sims = self._fabric()
+        before = dict(network.cross_shard_lookahead())
+        hop = SwitchProfile().hop_latency_us
+        network.attach("joiner", NIC_100G, sim=sims[1])
+        network.configure_shards(
+            {"cp": 0, "slow": 1, "fast": 2, "joiner": 1}, sims)
+        after = network.cross_shard_lookahead()
+        assert after[(1, 0)] < before[(1, 0)]
+        assert after[(1, 0)] == pytest.approx(
+            self._tx(NIC_100G) + hop + self._rx(NIC_100G))
+
+
+class TestBarrierElision:
+    """Idle shards skip windows (and pipe round-trips) entirely."""
+
+    def _engine(self, workers):
+        sims = {0: Simulator(), 1: Simulator(), 2: Simulator()}
+        network = Network(sims[0])
+        for sid, name in ((0, "a"), (1, "b"), (2, "c")):
+            network.attach(name, NIC_100G, sim=sims[sid])
+        network.configure_shards({"a": 0, "b": 1, "c": 2}, sims)
+        fired = []
+        # One early cross-shard message, then a long stretch where
+        # only shard 0 has (widely spaced) local events: shards 1-2
+        # must be elided from those windows, not barriered.
+        sims[0].schedule(0.5, lambda: network.transmit("a", "b", 64, "x"))
+        for when in (1000.0, 2000.0, 3000.0):
+            sims[0].schedule(when, lambda when=when: fired.append(when))
+        engine = ParallelEngine(network, sims, workers)
+        engine.enable_schedule_digests()
+        return engine, fired
+
+    def test_quiet_shards_are_elided(self):
+        engine, fired = self._engine(workers=1)
+        engine.run(until=4000.0)
+        assert fired == [1000.0, 2000.0, 3000.0]
+        stats = engine.stats
+        assert stats.records_exchanged == 1
+        assert stats.elided_shard_windows > 0
+        assert stats.shard_windows < stats.windows * 3
+
+    def test_elision_preserves_schedule_digests(self):
+        """workers=1 and workers=2 agree through elided windows, and
+        the forked engine actually skipped worker round-trips."""
+        engine1, _ = self._engine(workers=1)
+        engine1.run(until=4000.0)
+        reports1 = engine1.collect()
+        engine2, _ = self._engine(workers=2)
+        engine2.run(until=4000.0)
+        reports2 = engine2.collect()
+        assert engine2.stats.elided_child_messages > 0
+        assert engine2.stats.child_messages > 0
+        for sid in (0, 1, 2):
+            assert (reports2[sid]["schedule_digest"]
+                    == reports1[sid]["schedule_digest"])
+            assert (reports2[sid]["events_dispatched"]
+                    == reports1[sid]["events_dispatched"])
+        engine1.stop_workers()
+        engine2.stop_workers()
+
+
+class TestXlargeSmokeGeometry:
+    """The 16-JBOF / 64-client tier keeps the determinism contract."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.bench import perf
+        spec = perf.SCALES["xlarge-smoke"]
+        return {workers: perf.run_once("B", spec, None, workers=workers)
+                for workers in (0, 1, 4)}
+
+    def test_figure_digest_identity(self, rows):
+        assert (rows[0]["figure_digest"] == rows[1]["figure_digest"]
+                == rows[4]["figure_digest"])
+        assert rows[0]["ops"] > 0
+        assert rows[0]["failed"] == 0
+
+    def test_shard_schedule_identity(self, rows):
+        assert rows[1]["shard_digests"] == rows[4]["shard_digests"]
+        assert len(rows[1]["shard_digests"]) == 17
+
+    def test_exchange_counters_recorded(self, rows):
+        assert "exchange" not in rows[0]
+        exchange = rows[4]["exchange"]
+        assert exchange["windows"] > 0
+        assert exchange["elided_shard_windows"] > 0
+        assert exchange["child_messages"] > 0
+        assert exchange["records_exchanged"] > 0
+
+
 class TestRunWindow:
     def test_window_end_exclusive_by_default(self):
         sim = Simulator()
@@ -207,6 +352,39 @@ class TestParallelClusterGuards:
         assert cluster.engine.forked
         with pytest.raises(RuntimeError):
             cluster.enable_schedule_digests()
+        cluster.shutdown()
+        cluster.sim.run()
+        cluster.stop_workers()
+
+    def test_elasticity_allowed_sharded_in_process(self):
+        """add_jbof works at workers=1: everything still lives in this
+        process, and the NIC attach bumps the topology version so the
+        engine refreshes its lookahead matrix."""
+        cluster = LeedCluster(num_jbofs=2, num_clients=1, workers=1)
+        cluster.start()
+        cluster.sim.run(until=200.0)
+        version_before = cluster.network.topology_version
+        before = len(cluster.jbofs)
+        done = cluster.sim.process(cluster.add_jbof(), name="test.add")
+        cluster.sim.run(until=done)
+        assert len(cluster.jbofs) == before + 1
+        # The join attached a NIC (version bump) and the engine's
+        # cached matrix caught up with it during the run.
+        assert cluster.network.topology_version > version_before
+        assert (cluster.engine._matrix_version
+                == cluster.network.topology_version)
+        cluster.shutdown()
+        cluster.sim.run()
+        cluster.stop_workers()
+
+    def test_elasticity_refused_with_forked_workers(self):
+        cluster = LeedCluster(num_jbofs=2, num_clients=1, workers=2)
+        cluster.start()
+        cluster.sim.run(until=200.0)
+        with pytest.raises(ValueError, match="workers"):
+            next(cluster.add_jbof())
+        with pytest.raises(ValueError, match="workers"):
+            next(cluster.remove_jbof(0))
         cluster.shutdown()
         cluster.sim.run()
         cluster.stop_workers()
