@@ -39,6 +39,7 @@ import argparse
 import hashlib
 import json
 import os
+import statistics
 import sys
 import time
 
@@ -179,11 +180,35 @@ def run_once(workload_name: str, spec: dict, options,
 
 def scale_workloads(scale: str, requested=None) -> tuple:
     """Workloads to run for ``scale``: the CLI filter if given, else
-    the scale's own pin (xlarge runs YCSB-B only), else all three."""
+    the scale's own pin (xlarge runs YCSB-B only), else all three.
+
+    A requested workload the scale does not allow is an error, not a
+    silent filter — asking xlarge for WR should fail fast, never
+    quietly run B instead.
+    """
     allowed = tuple(SCALES[scale].get("workloads", WORKLOADS))
     if requested:
-        return tuple(name for name in requested if name in allowed) or allowed
+        unknown = [name for name in requested if name not in allowed]
+        if unknown:
+            raise ValueError(
+                "workload(s) %s not available at scale %r "
+                "(this scale allows: %s)"
+                % (",".join(unknown), scale, ",".join(allowed)))
+        return tuple(requested)
     return allowed
+
+
+def trial_stats(samples: list) -> dict:
+    """min/median/stdev across a row's trials, for noise-aware
+    comparisons downstream (e.g. explore fitness): best-of-N alone
+    hides how wide the machine noise was."""
+    return {
+        "trials": len(samples),
+        "min": round(min(samples), 4),
+        "median": round(statistics.median(samples), 4),
+        "stdev": round(statistics.stdev(samples), 4)
+        if len(samples) > 1 else 0.0,
+    }
 
 
 def measure_scale(scale: str, trials: int, workers: int = 0,
@@ -192,11 +217,13 @@ def measure_scale(scale: str, trials: int, workers: int = 0,
     spec = SCALES[scale]
     names = scale_workloads(scale, workloads)
     best = {name: {"baseline": None, "fast": None} for name in names}
+    samples = {name: {"baseline": [], "fast": []} for name in names}
     for trial in range(trials):
         for name in names:
             for mode, options in (("baseline", None), ("fast", fast_options())):
                 row = run_once(name, spec, options, workers=workers)
                 row["trials"] = trials
+                samples[name][mode].append(row)
                 current = best[name][mode]
                 if (current is None
                         or row["wall_ops_per_sec"]
@@ -205,6 +232,16 @@ def measure_scale(scale: str, trials: int, workers: int = 0,
                 print("  trial %d %s %s: %.0f ops/s (%.0f events/s)"
                       % (trial, name, mode, row["wall_ops_per_sec"],
                          row["events_per_sec"]))
+    # Variance is attached after the fact so it never leaks into
+    # figure_digest (computed inside run_once from sim-derived fields).
+    for name in names:
+        for mode in ("baseline", "fast"):
+            rows = samples[name][mode]
+            best[name][mode]["trial_stats"] = {
+                "wall_s": trial_stats([r["wall_s"] for r in rows]),
+                "wall_ops_per_sec": trial_stats(
+                    [r["wall_ops_per_sec"] for r in rows]),
+            }
     return best
 
 
@@ -351,6 +388,14 @@ def main(argv=None) -> int:
         scales = ("smoke",)
     else:
         scales = FROZEN_SCALES
+    # Fail before any measurement if a requested workload is not
+    # available at one of the requested scales.
+    if workloads:
+        for scale in scales:
+            try:
+                scale_workloads(scale, workloads)
+            except ValueError as exc:
+                parser.error(str(exc))
     report = {
         "seed": SEED,
         "value_size": VALUE_SIZE,

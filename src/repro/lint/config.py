@@ -20,7 +20,10 @@ def _default_layers() -> Dict[str, FrozenSet[str]]:
     substrate (``sim``) sits at the bottom; hardware, network, and
     power models build on it without knowing about the store logic in
     ``core``; workloads know the substrate only; ``bench``,
-    ``baselines``, and tooling sit on top.
+    ``baselines``, and tooling sit on top.  Between the two top-level
+    harnesses, ``bench`` sits *above* ``scenarios``: the design-space
+    explorer scores configurations on whole scenario episodes, while
+    scenarios never reach into the benchmark harness.
     """
     sim = frozenset({"repro.sim"})
     hw = sim | {"repro.hw"}
@@ -40,7 +43,7 @@ def _default_layers() -> Dict[str, FrozenSet[str]]:
         "repro.core": core,
         "repro.workloads": workloads,
         "repro.baselines": top,
-        "repro.bench": top | {"repro.bench"},
+        "repro.bench": top | {"repro.bench", "repro.scenarios"},
         "repro.scenarios": top | {"repro.scenarios"},
         "repro.lint": top | {"repro.bench", "repro.lint"},
     }
@@ -55,10 +58,11 @@ class LintConfig:
     rng_allow: Tuple[str, ...] = ("repro/sim/rng.py",)
 
     #: Files allowed to read the wall clock (SIM002).  The benchmark
-    #: CLI reports wall time around whole experiments — outside the
-    #: simulated world.
+    #: CLIs report wall time around whole experiments/trials — outside
+    #: the simulated world.
     wall_clock_allow: Tuple[str, ...] = ("repro/bench/__main__.py",
-                                         "repro/bench/perf.py")
+                                         "repro/bench/perf.py",
+                                         "repro/bench/explore/fleet.py")
 
     #: Directories whose set iteration feeds scheduling/ordering
     #: decisions and must be wrapped in ``sorted(...)`` (SIM003).
